@@ -1,0 +1,20 @@
+# Convenience targets for the KML reproduction.
+
+.PHONY: install test bench report clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# Assemble the per-experiment result tables written by `make bench`.
+report:
+	python -m repro report
+
+clean:
+	rm -rf benchmarks/_artifacts benchmarks/results .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

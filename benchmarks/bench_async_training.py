@@ -1,0 +1,76 @@
+"""E8 -- Async training machinery (paper sections 3.1-3.2).
+
+The circular buffer's size caps memory but risks dropped samples when
+the training thread falls behind; "users must carefully configure the
+circular buffer size based on the sampling rate of data collection."
+This bench measures (a) raw buffer throughput and (b) the drop rate as
+a function of buffer size under a producer that outruns the consumer.
+
+Expected shape: drops fall monotonically (to zero) as capacity grows.
+"""
+
+import threading
+import time
+
+import pytest
+
+from common import write_result
+
+from repro.runtime import AsyncTrainer, CircularBuffer
+
+N_SAMPLES = 20_000
+
+
+def _drop_rate(capacity: int, consumer_delay_s: float) -> float:
+    buffer = CircularBuffer(capacity)
+    consumed = []
+
+    def slow_train(batch):
+        consumed.extend(batch)
+        time.sleep(consumer_delay_s)
+
+    trainer = AsyncTrainer(buffer, train_fn=slow_train, batch_size=64,
+                           poll_interval=1e-4)
+    with trainer:
+        for i in range(N_SAMPLES):
+            buffer.push(i)
+    return buffer.dropped / N_SAMPLES
+
+
+@pytest.mark.benchmark(group="async-training")
+def test_buffer_throughput(benchmark):
+    buffer = CircularBuffer(1024)
+
+    def push_pop():
+        buffer.push(1)
+        buffer.pop()
+
+    benchmark(push_pop)
+    # Push+pop must be microseconds-scale: cheap enough for I/O paths.
+    assert benchmark.stats["mean"] < 50e-6
+
+
+@pytest.mark.benchmark(group="async-training")
+def test_drop_rate_vs_buffer_size(benchmark):
+    outcome = {}
+
+    def run_sizes():
+        for capacity in (64, 512, 4096, 32768):
+            outcome[capacity] = _drop_rate(capacity, consumer_delay_s=2e-4)
+        return outcome
+
+    benchmark.pedantic(run_sizes, rounds=1, iterations=1)
+
+    lines = [
+        "Sample drop rate vs circular-buffer capacity",
+        f"(producer: {N_SAMPLES} samples as fast as possible; "
+        "consumer: 64-sample batches with simulated normalization cost)",
+    ]
+    for capacity, rate in sorted(outcome.items()):
+        lines.append(f"capacity {capacity:>6d}: {rate * 100:6.2f}% dropped")
+    write_result("async_training.txt", "\n".join(lines))
+
+    rates = [outcome[c] for c in sorted(outcome)]
+    # Monotone non-increasing (within noise) and eventually ~zero.
+    assert rates[-1] <= 0.01
+    assert rates[0] >= rates[-1]

@@ -1,0 +1,58 @@
+"""E7 -- Element-type trade-off (paper section 3.1).
+
+KML supports integer (fixed-point), float, and double matrices so
+kernel deployments can trade accuracy against FPU usage.  This bench
+measures matmul cost and end-model accuracy across the three element
+types.  Expected shape: fixed-point accuracy within a few points of
+float32/float64 on the readahead task.
+"""
+
+import numpy as np
+import pytest
+
+from common import write_result
+
+from repro.kml import CrossEntropyLoss, SGD
+from repro.kml.matrix import Matrix
+from repro.readahead import ReadaheadClassifier
+
+_RESULTS = {}
+
+
+def _report():
+    if {"float32", "float64", "fixed32"} <= set(_RESULTS):
+        lines = ["Element-type trade-off (matmul 64x64 @ 64x64)"]
+        for dtype in ("float32", "float64", "fixed32"):
+            t, acc = _RESULTS[dtype]
+            lines.append(
+                f"{dtype:8s}: matmul {t * 1e6:8.1f} us,"
+                f" readahead-model accuracy {acc * 100:5.1f}%"
+            )
+        write_result("dtypes.txt", "\n".join(lines))
+
+
+def _accuracy_for_dtype(dtype, dataset):
+    clf = ReadaheadClassifier(
+        dtype=dtype, rng=np.random.default_rng(0), epochs=200
+    )
+    clf.fit(dataset.x, dataset.y)
+    return clf.accuracy(dataset.x, dataset.y)
+
+
+@pytest.mark.benchmark(group="dtypes")
+@pytest.mark.parametrize("dtype", ["float32", "float64", "fixed32"])
+def test_dtype_matmul_and_accuracy(benchmark, dtype, training_dataset):
+    rng = np.random.default_rng(1)
+    a = Matrix(rng.uniform(-2, 2, size=(64, 64)), dtype=dtype)
+    b = Matrix(rng.uniform(-2, 2, size=(64, 64)), dtype=dtype)
+
+    benchmark(lambda: a @ b)
+    accuracy = _accuracy_for_dtype(dtype, training_dataset)
+    _RESULTS[dtype] = (benchmark.stats["mean"], accuracy)
+    _report()
+
+    # Fixed point must stay usable (the paper's whole premise).
+    if dtype == "fixed32":
+        float_acc = _RESULTS.get("float32", (0, accuracy))[1]
+        assert accuracy > float_acc - 0.15
+    assert accuracy > 0.6

@@ -1,0 +1,114 @@
+"""E5 -- Overhead microbenchmarks (paper section 4, last paragraphs).
+
+Paper numbers on their kernel/hardware:
+  - data collection + normalization: 49 ns per transaction
+  - one inference: 21 us
+  - one training iteration: 51 us
+  - model memory: 3,916 B persistent + 676 B transient per inference
+
+Ours run in CPython, so the absolute numbers are larger; what must
+reproduce is the *scale relationship*: per-event collection orders of
+magnitude cheaper than inference, inference cheaper than training, and
+a model small enough (KBs) to live in a kernel.
+"""
+
+import numpy as np
+import pytest
+
+from common import write_result
+
+from repro.kml import CrossEntropyLoss, SGD
+from repro.os_sim import make_stack
+from repro.os_sim.tracepoints import TraceEvent
+from repro.readahead import FeatureCollector, ReadaheadClassifier
+from repro.readahead.model import build_network
+from repro.runtime.memory import MemoryAccountant
+
+_RESULTS = {}
+
+
+def _report_if_complete():
+    needed = {"collect_us", "infer_us", "train_us", "model_bytes",
+              "inference_traffic"}
+    if not needed <= set(_RESULTS):
+        return
+    lines = [
+        "Overhead microbenchmarks (wall-clock, CPython)",
+        f"data collection per event : {_RESULTS['collect_us'] * 1000:,.0f} ns"
+        "   (paper, in-kernel C: 49 ns)",
+        f"one inference             : {_RESULTS['infer_us']:,.1f} us"
+        "   (paper: 21 us)",
+        f"one training iteration    : {_RESULTS['train_us']:,.1f} us"
+        "   (paper: 51 us)",
+        f"model parameter memory    : {_RESULTS['model_bytes']:,d} B"
+        "   (paper: 3,916 B)",
+        f"inference alloc traffic   : {_RESULTS['inference_traffic']:,d} B"
+        "   (paper transient: 676 B)",
+    ]
+    write_result("overheads.txt", "\n".join(lines))
+
+
+@pytest.mark.benchmark(group="overheads")
+def test_data_collection_per_event(benchmark):
+    stack = make_stack("nvme")
+    collector = FeatureCollector(stack)
+    event = TraceEvent("mark_page_accessed", 0.0, {"ino": 1, "page": 1234})
+
+    benchmark(collector._on_offset_event, event)
+    _RESULTS["collect_us"] = benchmark.stats["mean"] * 1e6
+    _report_if_complete()
+    # Collection must be far cheaper than a device I/O (tens of us).
+    assert benchmark.stats["mean"] < 100e-6
+
+
+@pytest.mark.benchmark(group="overheads")
+def test_inference_latency(benchmark, classifier):
+    deployable = classifier.to_deployable()
+    features = np.array([[30_000.0, 950.0, 830.0, 70.0, 128.0]])
+
+    benchmark(deployable.predict_classes, features)
+    _RESULTS["infer_us"] = benchmark.stats["mean"] * 1e6
+    _report_if_complete()
+    # Once per second, inference must be a negligible fraction.
+    assert benchmark.stats["mean"] < 0.01
+
+
+@pytest.mark.benchmark(group="overheads")
+def test_training_iteration_latency(benchmark):
+    rng = np.random.default_rng(0)
+    network = build_network(rng=rng)
+    loss = CrossEntropyLoss()
+    optimizer = SGD(network.parameters(), lr=0.01, momentum=0.99)
+    from repro.kml.matrix import Matrix
+
+    x = Matrix(rng.normal(size=(1, 5)), dtype="float32")
+
+    benchmark(network.train_step, x, [1], loss, optimizer)
+    _RESULTS["train_us"] = benchmark.stats["mean"] * 1e6
+    _report_if_complete()
+    assert benchmark.stats["mean"] < 0.05
+
+
+@pytest.mark.benchmark(group="overheads")
+def test_memory_footprint(benchmark, classifier):
+    deployable = classifier.to_deployable()
+    # Persistent model memory: parameter values only (gradients are a
+    # training-time cost), matching how the paper counts model memory.
+    model_bytes = sum(p.value.nbytes for p in deployable.parameters())
+
+    features = np.array([[30_000.0, 950.0, 830.0, 70.0, 128.0]])
+
+    def one_inference_traffic():
+        accountant = MemoryAccountant()
+        with accountant:
+            deployable.predict_classes(features)
+        return accountant.total_allocated
+
+    traffic = benchmark.pedantic(one_inference_traffic, rounds=1, iterations=1)
+    _RESULTS["model_bytes"] = model_bytes
+    _RESULTS["inference_traffic"] = traffic
+    _report_if_complete()
+
+    # Kernel-resident scale: the paper's model was <4 KB; ours has the
+    # same architecture plus a fused normalization layer at float32.
+    assert model_bytes < 16 * 1024

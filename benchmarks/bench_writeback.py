@@ -1,0 +1,120 @@
+"""A3 -- Second use case: KML-style tuning of page-cache writeback.
+
+The paper's future work (section 6) applies KML to further subsystems,
+naming the page cache.  This bench runs the writeback case study:
+sweep the (dirty-threshold, batch) policy space for write-heavy
+workloads on both devices, then let the feedback tuner find the good
+region online.
+
+Expected shapes: eager unbatched writeback is far worse than batched
+(per-request latency dominates), the spread is larger on the SSD, and
+the online tuner lands on a batched configuration.
+"""
+
+import numpy as np
+import pytest
+
+from common import write_result
+
+from repro.minikv import DBOptions, MiniKV
+from repro.os_sim import make_stack
+from repro.workloads import populate_db, run_workload, workload_by_name
+from repro.writeback import (
+    DEFAULT_CONFIGS,
+    WritebackBanditTuner,
+    sweep_writeback_configs,
+)
+
+NUM_KEYS = 30_000
+VALUE_SIZE = 400
+CACHE_PAGES = 512
+MEMTABLE = 1 << 20  # small on purpose: the write path is the subject
+
+
+@pytest.mark.benchmark(group="writeback")
+def test_writeback_policy_sweep(benchmark):
+    sweeps = {}
+
+    def run_all():
+        for device in ("nvme", "ssd"):
+            for workload in ("fillrandom", "updaterandom"):
+                sweeps[(device, workload)] = sweep_writeback_configs(
+                    device,
+                    workload,
+                    num_keys=NUM_KEYS,
+                    value_size=VALUE_SIZE,
+                    cache_pages=CACHE_PAGES,
+                    memtable_bytes=MEMTABLE,
+                    ops_per_point=3000,
+                )
+        return sweeps
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = ["Writeback policy sweep (ops/sim-sec per configuration)"]
+    for (device, workload), sweep in sorted(sweeps.items()):
+        rows = "  ".join(f"{c}:{t:,.0f}" for c, t in sweep.rows())
+        lines.append(f"{device:5s} {workload:12s} best={sweep.best()}  {rows}")
+    write_result("writeback_sweep.txt", "\n".join(lines))
+
+    for device in ("nvme", "ssd"):
+        sweep = sweeps[(device, "fillrandom")]
+        worst = min(sweep.throughput, key=lambda c: sweep.throughput[c])
+        assert worst.writeback_batch == 1  # eager unbatched loses
+        assert sweep.throughput[sweep.best()] > 1.5 * sweep.throughput[worst]
+    # Bigger spread on the slower device.
+    def spread(device):
+        t = sweeps[(device, "fillrandom")].throughput
+        return max(t.values()) / min(t.values())
+
+    assert spread("ssd") > spread("nvme")
+
+
+@pytest.mark.benchmark(group="writeback")
+def test_online_tuner_beats_worst_policy(benchmark):
+    outcome = {}
+
+    def run_tuned():
+        stack = make_stack("ssd", cache_pages=CACHE_PAGES)
+        db = MiniKV(stack, DBOptions(memtable_bytes=MEMTABLE))
+        populate_db(db, NUM_KEYS, VALUE_SIZE, np.random.default_rng(42))
+        # Start from the worst policy; the tuner must climb out.
+        DEFAULT_CONFIGS[0].apply(stack)
+        stack.drop_caches()
+        tuner = WritebackBanditTuner(stack, exploration=0.5)
+        workload = workload_by_name("fillrandom", NUM_KEYS, VALUE_SIZE)
+        result = run_workload(
+            stack, db, workload, n_ops=10**9,
+            rng=np.random.default_rng(43),
+            tick_interval=0.002, on_tick=tuner.on_tick,
+            max_sim_seconds=0.2,
+        )
+        outcome["tuned"] = result.throughput
+        outcome["tuner"] = tuner
+
+        stack2 = make_stack("ssd", cache_pages=CACHE_PAGES)
+        db2 = MiniKV(stack2, DBOptions(memtable_bytes=MEMTABLE))
+        populate_db(db2, NUM_KEYS, VALUE_SIZE, np.random.default_rng(42))
+        DEFAULT_CONFIGS[0].apply(stack2)  # pinned worst policy
+        stack2.drop_caches()
+        workload = workload_by_name("fillrandom", NUM_KEYS, VALUE_SIZE)
+        outcome["pinned"] = run_workload(
+            stack2, db2, workload, n_ops=10**9,
+            rng=np.random.default_rng(43), max_sim_seconds=0.2,
+        ).throughput
+        return outcome
+
+    benchmark.pedantic(run_tuned, rounds=1, iterations=1)
+
+    tuner = outcome["tuner"]
+    lines = [
+        "Online writeback tuner (UCB1) starting from the worst policy",
+        f"pinned worst policy : {outcome['pinned']:,.0f} ops/s",
+        f"online tuner        : {outcome['tuned']:,.0f} ops/s "
+        f"({outcome['tuned'] / outcome['pinned']:.2f}x)",
+        f"converged config    : {tuner.best_config}",
+    ]
+    write_result("writeback_tuner.txt", "\n".join(lines))
+
+    assert outcome["tuned"] > outcome["pinned"] * 1.2
+    assert tuner.best_config.writeback_batch > 1

@@ -1,0 +1,94 @@
+"""Session fixtures for the benchmark harness.
+
+The trained readahead model, its dataset, and the tuning table are
+expensive to produce, so they are built once per session and cached on
+disk under ``benchmarks/_artifacts/`` -- delete that directory to force
+regeneration.
+"""
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from common import ARTIFACT_DIR, ensure_dirs  # noqa: E402
+
+from repro.kml import load_model, save_model  # noqa: E402
+from repro.readahead import (  # noqa: E402
+    CollectionConfig,
+    Dataset,
+    ReadaheadClassifier,
+    TuningTable,
+    collect_training_data,
+    sweep_best_readahead,
+)
+
+_DATASET_PATH = os.path.join(ARTIFACT_DIR, "training_data.npz")
+_MODEL_PATH = os.path.join(ARTIFACT_DIR, "readahead_nn.kml")
+_TUNING_PATH = os.path.join(ARTIFACT_DIR, "tuning.json")
+
+#: Readahead values for the quick tuning sweep backing the agent.
+QUICK_SWEEP_RA = (8, 32, 128, 512)
+
+
+@pytest.fixture(scope="session")
+def training_dataset() -> Dataset:
+    """NVMe training data for the four paper workloads (cached)."""
+    ensure_dirs()
+    if os.path.exists(_DATASET_PATH):
+        blob = np.load(_DATASET_PATH, allow_pickle=False)
+        return Dataset(blob["x"], blob["y"])
+    config = CollectionConfig(
+        num_keys=60_000,
+        value_size=400,
+        cache_pages=512,
+        ra_values=QUICK_SWEEP_RA,
+        windows_per_value=3,
+        ra_passes=2,
+    )
+    dataset = collect_training_data(config)
+    np.savez(_DATASET_PATH, x=dataset.x, y=dataset.y)
+    return dataset
+
+
+@pytest.fixture(scope="session")
+def classifier(training_dataset) -> ReadaheadClassifier:
+    clf = ReadaheadClassifier(rng=np.random.default_rng(0))
+    clf.fit(training_dataset.x, training_dataset.y)
+    return clf
+
+
+@pytest.fixture(scope="session")
+def deployable(classifier):
+    """The deployed network, round-tripped through the KML file format
+    exactly as the paper deploys user-space-trained models."""
+    ensure_dirs()
+    if not os.path.exists(_MODEL_PATH):
+        save_model(classifier.to_deployable(), _MODEL_PATH)
+    return load_model(_MODEL_PATH)
+
+
+@pytest.fixture(scope="session")
+def tuning_table() -> TuningTable:
+    """Per-device best-readahead mapping from a quick sweep (cached)."""
+    ensure_dirs()
+    if os.path.exists(_TUNING_PATH):
+        return TuningTable.load(_TUNING_PATH)
+    table = TuningTable()
+    for device in ("nvme", "ssd"):
+        partial, _ = sweep_best_readahead(
+            device,
+            ("readseq", "readrandom", "readreverse", "readrandomwriterandom"),
+            ra_values=QUICK_SWEEP_RA,
+            num_keys=60_000,
+            value_size=400,
+            cache_pages=512,
+            ops_per_point=3000,
+        )
+        for workload, ra in partial.table[device].items():
+            table.set(device, workload, ra)
+    table.save(_TUNING_PATH)
+    return table

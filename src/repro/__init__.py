@@ -1,0 +1,40 @@
+"""repro: reproduction of "A Machine Learning Framework to Improve
+Storage System Performance" (KML, HotStorage 2021).
+
+Subpackages
+-----------
+``repro.kml``
+    The from-scratch ML library (matrices over float32/float64/fixed-
+    point, layers, losses, autodiff, SGD, decision trees, model I/O).
+``repro.runtime``
+    OS-integration runtime: lock-free circular buffer, async training
+    thread, memory accounting/reservation, the 27-function portability
+    API.
+``repro.stats``
+    Data normalization: moving statistics, Z-score, Pearson.
+``repro.os_sim``
+    The simulated kernel storage stack (devices, page cache, readahead,
+    tracepoints, VFS).
+``repro.minikv``
+    A mini LSM key-value store standing in for RocksDB.
+``repro.workloads``
+    db_bench-equivalent workloads plus mixgraph.
+``repro.readahead``
+    The readahead case study: features, models, tuning, the closed-loop
+    agent, and the RL extension.
+"""
+
+__version__ = "1.0.0"
+
+from . import kml, minikv, os_sim, readahead, runtime, stats, workloads
+
+__all__ = [
+    "kml",
+    "minikv",
+    "os_sim",
+    "readahead",
+    "runtime",
+    "stats",
+    "workloads",
+    "__version__",
+]

@@ -1,0 +1,294 @@
+"""Command-line interface for the KML reproduction.
+
+Subcommands mirror the paper's workflow stages:
+
+    repro collect    collect labeled training windows (tracepoints -> features)
+    repro train      train the readahead classifier and save a .kml model
+    repro sweep      build the workload -> best-readahead table
+    repro run        run a workload vanilla vs with the KML agent
+    repro inspect    describe a saved .kml model file
+
+Invoke as ``python -m repro <subcommand> --help``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="KML (HotStorage '21) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    collect = sub.add_parser("collect", help="collect training data")
+    collect.add_argument("--output", required=True, help=".npz output path")
+    collect.add_argument("--device", default="nvme", choices=("nvme", "ssd"))
+    collect.add_argument("--num-keys", type=int, default=60_000)
+    collect.add_argument("--value-size", type=int, default=400)
+    collect.add_argument("--cache-pages", type=int, default=512)
+    collect.add_argument("--windows-per-value", type=int, default=3)
+    collect.add_argument("--seed", type=int, default=42)
+
+    train = sub.add_parser("train", help="train the readahead classifier")
+    train.add_argument("--data", required=True, help=".npz from `collect`")
+    train.add_argument("--output", required=True, help=".kml model path")
+    train.add_argument("--epochs", type=int, default=400)
+    train.add_argument("--kfold", type=int, default=0,
+                       help="also report k-fold CV accuracy (0 = skip)")
+    train.add_argument("--model", default="nn", choices=("nn", "tree"))
+    train.add_argument("--dtype", default="float32",
+                       choices=("float32", "float64", "fixed32"))
+    train.add_argument("--seed", type=int, default=0)
+
+    sweep = sub.add_parser("sweep", help="build the best-readahead table")
+    sweep.add_argument("--output", required=True, help="tuning .json path")
+    sweep.add_argument("--devices", default="nvme,ssd")
+    sweep.add_argument("--ra-values", default="8,32,128,512",
+                       help="comma-separated, or 'paper' for the 20-value sweep")
+    sweep.add_argument("--num-keys", type=int, default=60_000)
+    sweep.add_argument("--value-size", type=int, default=400)
+    sweep.add_argument("--cache-pages", type=int, default=512)
+    sweep.add_argument("--ops-per-point", type=int, default=3000)
+    sweep.add_argument("--seed", type=int, default=42)
+
+    run = sub.add_parser("run", help="run a workload vanilla vs KML")
+    run.add_argument("--model", required=True, help=".kml model from `train`")
+    run.add_argument("--tuning", required=True, help=".json from `sweep`")
+    run.add_argument("--workload", default="mixgraph")
+    run.add_argument("--device", default="nvme", choices=("nvme", "ssd"))
+    run.add_argument("--num-keys", type=int, default=60_000)
+    run.add_argument("--value-size", type=int, default=400)
+    run.add_argument("--cache-pages", type=int, default=512)
+    run.add_argument("--sim-seconds", type=float, default=1.5)
+    run.add_argument("--window", type=float, default=0.1)
+    run.add_argument("--smoothing", type=int, default=3)
+    run.add_argument("--seed", type=int, default=42)
+
+    inspect = sub.add_parser("inspect", help="describe a .kml model file")
+    inspect.add_argument("path")
+
+    report = sub.add_parser(
+        "report", help="assemble benchmark results into one summary"
+    )
+    report.add_argument(
+        "--results-dir",
+        default=None,
+        help="defaults to benchmarks/results next to the package checkout",
+    )
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations
+# ----------------------------------------------------------------------
+
+
+def _cmd_collect(args) -> int:
+    from .readahead import CollectionConfig, collect_training_data
+
+    config = CollectionConfig(
+        device=args.device,
+        num_keys=args.num_keys,
+        value_size=args.value_size,
+        cache_pages=args.cache_pages,
+        windows_per_value=args.windows_per_value,
+        seed=args.seed,
+    )
+    dataset = collect_training_data(
+        config,
+        on_progress=lambda name, n: print(f"  {name}: {n} windows"),
+    )
+    np.savez(args.output, x=dataset.x, y=dataset.y)
+    print(
+        f"wrote {args.output}: {len(dataset)} windows, "
+        f"class counts {dataset.class_counts().tolist()}"
+    )
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from .kml import save_model
+    from .kml.metrics import k_fold_cross_validate
+    from .readahead import ReadaheadClassifier, ReadaheadTreeModel
+
+    blob = np.load(args.data)
+    x, y = blob["x"], blob["y"]
+    print(f"loaded {len(x)} samples from {args.data}")
+
+    if args.model == "nn":
+        clf = ReadaheadClassifier(
+            dtype=args.dtype,
+            rng=np.random.default_rng(args.seed),
+            epochs=args.epochs,
+        )
+        clf.fit(x, y)
+        deployable = clf.to_deployable()
+        print(f"training accuracy: {clf.accuracy(x, y) * 100:.1f}%")
+        if args.kfold >= 2:
+            result = k_fold_cross_validate(
+                lambda: ReadaheadClassifier(
+                    dtype=args.dtype,
+                    rng=np.random.default_rng(args.seed + 1),
+                    epochs=args.epochs,
+                ),
+                x, y, k=args.kfold, rng=np.random.default_rng(args.seed + 2),
+            )
+            print(result)
+        save_model(deployable, args.output)
+    else:
+        tree = ReadaheadTreeModel().fit(x, y)
+        print(f"training accuracy: {tree.accuracy(x, y) * 100:.1f}%")
+        if args.kfold >= 2:
+            result = k_fold_cross_validate(
+                ReadaheadTreeModel, x, y, k=args.kfold,
+                rng=np.random.default_rng(args.seed + 2),
+            )
+            print(result)
+        save_model(tree.tree, args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .readahead import PAPER_RA_VALUES, TuningTable, sweep_best_readahead
+    from .readahead.model import WORKLOAD_CLASSES
+
+    if args.ra_values == "paper":
+        ra_values = PAPER_RA_VALUES
+    else:
+        ra_values = tuple(int(v) for v in args.ra_values.split(","))
+    table = TuningTable()
+    for device in args.devices.split(","):
+        partial, result = sweep_best_readahead(
+            device,
+            WORKLOAD_CLASSES,
+            ra_values=ra_values,
+            num_keys=args.num_keys,
+            value_size=args.value_size,
+            cache_pages=args.cache_pages,
+            ops_per_point=args.ops_per_point,
+            seed=args.seed,
+        )
+        for workload, ra in partial.table[device].items():
+            table.set(device, workload, ra)
+            print(f"  {device}/{workload}: best ra = {ra}")
+    table.save(args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from .kml import load_model
+    from .minikv import DBOptions, MiniKV
+    from .os_sim import make_stack
+    from .readahead import ReadaheadAgent, TuningTable
+    from .workloads import populate_db, run_workload, workload_by_name
+
+    deployable = load_model(args.model)
+    tuning = TuningTable.load(args.tuning)
+
+    def one(use_agent: bool):
+        stack = make_stack(
+            args.device, ra_pages=128, cache_pages=args.cache_pages
+        )
+        db = MiniKV(stack, DBOptions(memtable_bytes=8 << 20))
+        populate_db(
+            db, args.num_keys, args.value_size, np.random.default_rng(args.seed)
+        )
+        stack.set_readahead(128)
+        stack.drop_caches()
+        agent = (
+            ReadaheadAgent(
+                stack, deployable, tuning, args.device, smoothing=args.smoothing
+            )
+            if use_agent
+            else None
+        )
+        workload = workload_by_name(args.workload, args.num_keys, args.value_size)
+        result = run_workload(
+            stack, db, workload, n_ops=10**9,
+            rng=np.random.default_rng(args.seed + 1),
+            tick_interval=args.window,
+            on_tick=agent.on_tick if agent else None,
+            max_sim_seconds=args.sim_seconds,
+        )
+        return result.throughput, agent
+
+    vanilla, _ = one(False)
+    tuned, agent = one(True)
+    print(f"{args.workload} on {args.device}:")
+    print(f"  vanilla (ra=128): {vanilla:,.0f} ops/s")
+    print(f"  KML closed loop : {tuned:,.0f} ops/s ({tuned / vanilla:.2f}x)")
+    print(f"  classified as   : {agent.predicted_class_counts()}")
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    from .kml import DecisionTreeClassifier, Sequential, load_model
+
+    model = load_model(args.path)
+    if isinstance(model, Sequential):
+        print(model.summary())
+    elif isinstance(model, DecisionTreeClassifier):
+        print(
+            f"DecisionTreeClassifier: {model.num_classes} classes, "
+            f"{model.num_features} features, depth {model.depth}, "
+            f"{model.num_nodes} nodes"
+        )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    import glob
+    import os
+
+    results_dir = args.results_dir
+    if results_dir is None:
+        here = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        results_dir = os.path.join(here, "benchmarks", "results")
+    files = sorted(glob.glob(os.path.join(results_dir, "*.txt")))
+    if not files:
+        print(
+            f"no results in {results_dir}; run "
+            "`pytest benchmarks/ --benchmark-only` first"
+        )
+        return 1
+    for path in files:
+        title = os.path.basename(path)
+        print("=" * 72)
+        print(f"== {title}")
+        print("=" * 72)
+        with open(path) as f:
+            print(f.read().rstrip())
+        print()
+    return 0
+
+
+_COMMANDS = {
+    "collect": _cmd_collect,
+    "train": _cmd_train,
+    "sweep": _cmd_sweep,
+    "run": _cmd_run,
+    "inspect": _cmd_inspect,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

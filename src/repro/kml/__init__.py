@@ -1,0 +1,77 @@
+"""KML core: the from-scratch machine-learning library.
+
+This package reproduces the ML half of the paper -- matrices over three
+element types, approximated transcendental math, layers and losses with
+hand-written forward/backward passes, reverse-mode autodiff, SGD with
+momentum, decision trees, metrics, and the KML model file format.
+"""
+
+from .matrix import Matrix, DTYPES
+from .network import Sequential
+from .layers import Layer, Parameter, Linear, Sigmoid, ReLU, Tanh, Softmax, Dropout
+from .losses import Loss, one_hot, CrossEntropyLoss, MSELoss, BinaryCrossEntropyLoss
+from .optimizers import Optimizer, SGD, Adam
+from .decision_tree import DecisionTreeClassifier
+from .metrics import (
+    accuracy_score,
+    classification_report,
+    confusion_matrix,
+    precision_recall_f1,
+    k_fold_cross_validate,
+    KFoldResult,
+)
+from .model_io import save_model, load_model, ModelFormatError
+from .quantize import QuantizedLinear, quantize_model, quantization_error
+from .rnn import LSTMCell, LSTMClassifier
+from .layers import BatchNorm1d, LayerNorm
+from .training import (
+    EarlyStopping,
+    StepDecay,
+    TrainReport,
+    fit_with_validation,
+    train_val_split,
+)
+
+__all__ = [
+    "Matrix",
+    "DTYPES",
+    "Sequential",
+    "Layer",
+    "Parameter",
+    "Linear",
+    "Sigmoid",
+    "ReLU",
+    "Tanh",
+    "Softmax",
+    "Dropout",
+    "Loss",
+    "one_hot",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "BinaryCrossEntropyLoss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "DecisionTreeClassifier",
+    "accuracy_score",
+    "classification_report",
+    "confusion_matrix",
+    "precision_recall_f1",
+    "k_fold_cross_validate",
+    "KFoldResult",
+    "save_model",
+    "load_model",
+    "ModelFormatError",
+    "QuantizedLinear",
+    "quantize_model",
+    "quantization_error",
+    "LSTMCell",
+    "LSTMClassifier",
+    "BatchNorm1d",
+    "LayerNorm",
+    "EarlyStopping",
+    "StepDecay",
+    "TrainReport",
+    "fit_with_validation",
+    "train_val_split",
+]

@@ -1,0 +1,78 @@
+"""Elementwise activation layers: Sigmoid, ReLU, Tanh.
+
+Each caches what its backward pass needs during forward, exactly one
+matrix -- KML keeps per-layer state minimal to bound kernel memory.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..matrix import Matrix
+from .base import Layer
+
+__all__ = ["Sigmoid", "ReLU", "Tanh"]
+
+
+class Sigmoid(Layer):
+    """Logistic activation; d/dx sigmoid = s * (1 - s)."""
+
+    kind = "sigmoid"
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name=name)
+        self._output: Optional[Matrix] = None
+
+    def forward(self, x: Matrix) -> Matrix:
+        self._output = x.sigmoid()
+        return self._output
+
+    def backward(self, grad_output: Matrix) -> Matrix:
+        if self._output is None:
+            raise RuntimeError(f"{self.name}: backward() before forward()")
+        s = self._output
+        one = Matrix.ones(s.rows, s.cols, dtype=s.dtype)
+        return grad_output * s * (one - s)
+
+
+class ReLU(Layer):
+    """Rectified linear unit; gradient is a 0/1 mask of the input sign."""
+
+    kind = "relu"
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name=name)
+        self._mask: Optional[Matrix] = None
+
+    def forward(self, x: Matrix) -> Matrix:
+        mask = (x.to_numpy() > 0).astype(np.float64)
+        self._mask = Matrix(mask, dtype=x.dtype)
+        return x.relu()
+
+    def backward(self, grad_output: Matrix) -> Matrix:
+        if self._mask is None:
+            raise RuntimeError(f"{self.name}: backward() before forward()")
+        return grad_output * self._mask
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent; d/dx tanh = 1 - tanh^2."""
+
+    kind = "tanh"
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name=name)
+        self._output: Optional[Matrix] = None
+
+    def forward(self, x: Matrix) -> Matrix:
+        self._output = x.tanh()
+        return self._output
+
+    def backward(self, grad_output: Matrix) -> Matrix:
+        if self._output is None:
+            raise RuntimeError(f"{self.name}: backward() before forward()")
+        t = self._output
+        one = Matrix.ones(t.rows, t.cols, dtype=t.dtype)
+        return grad_output * (one - t * t)

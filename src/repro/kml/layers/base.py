@@ -1,0 +1,86 @@
+"""Layer abstraction: the extensibility contract of KML.
+
+Per the paper (section 2, *Extensibility*), adding a component to KML
+requires exactly three functions: (i) building/initializing the layer,
+(ii) forward propagation for inference, and (iii) backward propagation
+for training.  :class:`Layer` encodes that contract; every concrete
+layer in :mod:`repro.kml.layers` implements it and nothing more.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..matrix import Matrix
+
+__all__ = ["Parameter", "Layer"]
+
+
+class Parameter:
+    """A trainable matrix together with its accumulated gradient."""
+
+    __slots__ = ("name", "value", "grad")
+
+    def __init__(self, name: str, value: Matrix):
+        self.name = name
+        self.value = value
+        self.grad = Matrix.zeros(value.rows, value.cols, dtype=value.dtype)
+
+    def zero_grad(self) -> None:
+        self.grad = Matrix.zeros(
+            self.value.rows, self.value.cols, dtype=self.value.dtype
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the parameter value and its gradient buffer."""
+        return self.value.nbytes + self.grad.nbytes
+
+    def __repr__(self) -> str:
+        return f"Parameter({self.name!r}, shape={self.value.shape})"
+
+
+class Layer:
+    """Base class for differentiable components.
+
+    Subclasses implement :meth:`forward` and :meth:`backward`;
+    construction is the "build and initialize" step.  ``backward``
+    receives the gradient of the loss w.r.t. this layer's output and
+    must (a) accumulate gradients into its parameters and (b) return
+    the gradient w.r.t. its input so the chain continues.
+    """
+
+    #: short type tag used by the model file format
+    kind: str = "layer"
+
+    def __init__(self, name: Optional[str] = None):
+        self.name = name or type(self).__name__.lower()
+        self.training = True
+
+    def forward(self, x: Matrix) -> Matrix:
+        raise NotImplementedError
+
+    def backward(self, grad_output: Matrix) -> Matrix:
+        raise NotImplementedError
+
+    def parameters(self) -> List[Parameter]:
+        """Trainable parameters; stateless layers return an empty list."""
+        return []
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def train(self) -> None:
+        self.training = True
+
+    def eval(self) -> None:
+        self.training = False
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate persistent memory of this layer (parameters)."""
+        return sum(p.nbytes for p in self.parameters())
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,71 @@
+"""Fully connected (linear) layer: y = x @ W + b."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..matrix import Matrix
+from .base import Layer, Parameter
+
+__all__ = ["Linear"]
+
+
+class Linear(Layer):
+    """Affine transform with Xavier-uniform initialization.
+
+    Weights have shape ``(in_features, out_features)`` and the bias is a
+    ``(1, out_features)`` row broadcast over the batch, matching the
+    layout KML uses for its kernel matmul kernels.
+    """
+
+    kind = "linear"
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        dtype: str = "float32",
+        rng: Optional[np.random.Generator] = None,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name)
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature counts must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.dtype = dtype
+        rng = rng or np.random.default_rng()
+        bound = float(np.sqrt(6.0 / (in_features + out_features)))
+        self.weight = Parameter(
+            f"{self.name}.weight",
+            Matrix.uniform(in_features, out_features, -bound, bound, rng, dtype=dtype),
+        )
+        self.bias = Parameter(f"{self.name}.bias", Matrix.zeros(1, out_features, dtype=dtype))
+        self._input: Optional[Matrix] = None
+
+    def forward(self, x: Matrix) -> Matrix:
+        if x.cols != self.in_features:
+            raise ValueError(
+                f"{self.name}: expected {self.in_features} input features, got {x.cols}"
+            )
+        self._input = x
+        return x @ self.weight.value + self.bias.value
+
+    def backward(self, grad_output: Matrix) -> Matrix:
+        if self._input is None:
+            raise RuntimeError(f"{self.name}: backward() before forward()")
+        x = self._input
+        self.weight.grad = self.weight.grad + x.T @ grad_output
+        self.bias.grad = self.bias.grad + grad_output.sum(axis=0)
+        return grad_output @ self.weight.value.T
+
+    def parameters(self) -> List[Parameter]:
+        return [self.weight, self.bias]
+
+    def __repr__(self) -> str:
+        return (
+            f"Linear(in={self.in_features}, out={self.out_features}, "
+            f"dtype={self.dtype!r})"
+        )

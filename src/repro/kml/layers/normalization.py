@@ -1,0 +1,162 @@
+"""Normalization layers: BatchNorm1d and LayerNorm.
+
+Extensions beyond the paper's three-layer model, added under its
+extensibility contract (build/forward/backward).  BatchNorm keeps
+running statistics for inference -- the train/eval mode split matters,
+exactly like Dropout.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..matrix import Matrix
+from .base import Layer, Parameter
+
+__all__ = ["BatchNorm1d", "LayerNorm"]
+
+_EPS = 1e-5
+
+
+class BatchNorm1d(Layer):
+    """Per-feature batch normalization with learnable scale/shift.
+
+    Training normalizes by batch statistics and updates running
+    estimates (momentum ``running_momentum``); evaluation uses the
+    running estimates, so single-row kernel inference is deterministic.
+    """
+
+    kind = "batchnorm"
+
+    def __init__(
+        self,
+        num_features: int,
+        running_momentum: float = 0.1,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name)
+        if num_features < 1:
+            raise ValueError("num_features must be >= 1")
+        if not 0.0 < running_momentum <= 1.0:
+            raise ValueError("running_momentum must be in (0, 1]")
+        self.num_features = num_features
+        self.running_momentum = running_momentum
+        self.gamma = Parameter(
+            f"{self.name}.gamma", Matrix(np.ones((1, num_features)), dtype="float64")
+        )
+        self.beta = Parameter(
+            f"{self.name}.beta", Matrix(np.zeros((1, num_features)), dtype="float64")
+        )
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+        self._cache = None
+
+    def forward(self, x: Matrix) -> Matrix:
+        if x.cols != self.num_features:
+            raise ValueError(
+                f"{self.name}: expected {self.num_features} features, got {x.cols}"
+            )
+        real = x.to_numpy()
+        if self.training:
+            mean = real.mean(axis=0)
+            var = real.var(axis=0)
+            m = self.running_momentum
+            self.running_mean = (1 - m) * self.running_mean + m * mean
+            self.running_var = (1 - m) * self.running_var + m * var
+        else:
+            mean, var = self.running_mean, self.running_var
+        inv_std = 1.0 / np.sqrt(var + _EPS)
+        normalized = (real - mean) * inv_std
+        self._cache = (normalized, inv_std, real.shape[0])
+        out = normalized * self.gamma.value.to_numpy() + self.beta.value.to_numpy()
+        return Matrix(out, dtype=x.dtype)
+
+    def backward(self, grad_output: Matrix) -> Matrix:
+        if self._cache is None:
+            raise RuntimeError(f"{self.name}: backward() before forward()")
+        normalized, inv_std, n = self._cache
+        grad = grad_output.to_numpy()
+        gamma = self.gamma.value.to_numpy()
+        self.gamma.grad = self.gamma.grad + Matrix(
+            (grad * normalized).sum(axis=0, keepdims=True), dtype="float64"
+        )
+        self.beta.grad = self.beta.grad + Matrix(
+            grad.sum(axis=0, keepdims=True), dtype="float64"
+        )
+        if not self.training or n == 1:
+            # Eval (or degenerate batch): statistics are constants.
+            return Matrix(grad * gamma * inv_std, dtype=grad_output.dtype)
+        # Full batch-norm gradient through the batch statistics.
+        g = grad * gamma
+        grad_input = (
+            inv_std
+            / n
+            * (n * g - g.sum(axis=0) - normalized * (g * normalized).sum(axis=0))
+        )
+        return Matrix(grad_input, dtype=grad_output.dtype)
+
+    def parameters(self) -> List[Parameter]:
+        return [self.gamma, self.beta]
+
+
+class LayerNorm(Layer):
+    """Per-row normalization with learnable scale/shift (no batch state)."""
+
+    kind = "layernorm"
+
+    def __init__(self, num_features: int, name: Optional[str] = None):
+        super().__init__(name=name)
+        if num_features < 1:
+            raise ValueError("num_features must be >= 1")
+        self.num_features = num_features
+        self.gamma = Parameter(
+            f"{self.name}.gamma", Matrix(np.ones((1, num_features)), dtype="float64")
+        )
+        self.beta = Parameter(
+            f"{self.name}.beta", Matrix(np.zeros((1, num_features)), dtype="float64")
+        )
+        self._cache = None
+
+    def forward(self, x: Matrix) -> Matrix:
+        if x.cols != self.num_features:
+            raise ValueError(
+                f"{self.name}: expected {self.num_features} features, got {x.cols}"
+            )
+        real = x.to_numpy()
+        mean = real.mean(axis=1, keepdims=True)
+        var = real.var(axis=1, keepdims=True)
+        inv_std = 1.0 / np.sqrt(var + _EPS)
+        normalized = (real - mean) * inv_std
+        self._cache = (normalized, inv_std)
+        out = normalized * self.gamma.value.to_numpy() + self.beta.value.to_numpy()
+        return Matrix(out, dtype=x.dtype)
+
+    def backward(self, grad_output: Matrix) -> Matrix:
+        if self._cache is None:
+            raise RuntimeError(f"{self.name}: backward() before forward()")
+        normalized, inv_std = self._cache
+        grad = grad_output.to_numpy()
+        gamma = self.gamma.value.to_numpy()
+        self.gamma.grad = self.gamma.grad + Matrix(
+            (grad * normalized).sum(axis=0, keepdims=True), dtype="float64"
+        )
+        self.beta.grad = self.beta.grad + Matrix(
+            grad.sum(axis=0, keepdims=True), dtype="float64"
+        )
+        d = self.num_features
+        g = grad * gamma
+        grad_input = (
+            inv_std
+            / d
+            * (
+                d * g
+                - g.sum(axis=1, keepdims=True)
+                - normalized * (g * normalized).sum(axis=1, keepdims=True)
+            )
+        )
+        return Matrix(grad_input, dtype=grad_output.dtype)
+
+    def parameters(self) -> List[Parameter]:
+        return [self.gamma, self.beta]

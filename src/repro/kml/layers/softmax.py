@@ -1,0 +1,44 @@
+"""Standalone softmax layer.
+
+Usually cross-entropy fuses softmax into the loss (see
+:mod:`repro.kml.losses.cross_entropy`), but KML also ships softmax as a
+layer so models can emit calibrated probabilities at inference time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..matrix import Matrix
+from .base import Layer
+
+__all__ = ["Softmax"]
+
+
+class Softmax(Layer):
+    """Row-wise softmax with the exact Jacobian in backward.
+
+    For each row, ``dL/dx = s * (dL/ds - sum(dL/ds * s))`` where ``s``
+    is the softmax output -- the standard contraction of the softmax
+    Jacobian ``diag(s) - s s^T``.
+    """
+
+    kind = "softmax"
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name=name)
+        self._output: Optional[Matrix] = None
+
+    def forward(self, x: Matrix) -> Matrix:
+        self._output = x.softmax(axis=1)
+        return self._output
+
+    def backward(self, grad_output: Matrix) -> Matrix:
+        if self._output is None:
+            raise RuntimeError(f"{self.name}: backward() before forward()")
+        s = self._output.to_numpy()
+        g = grad_output.to_numpy()
+        dot = np.sum(g * s, axis=1, keepdims=True)
+        return Matrix(s * (g - dot), dtype=self._output.dtype)

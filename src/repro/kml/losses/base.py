@@ -1,0 +1,43 @@
+"""Loss-function contract: forward returns a scalar, backward a gradient."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..matrix import Matrix
+
+__all__ = ["Loss", "one_hot"]
+
+
+def one_hot(labels, num_classes: int, dtype: str = "float32") -> Matrix:
+    """Encode integer class labels as a one-hot Matrix.
+
+    Raises ``ValueError`` on labels outside ``[0, num_classes)`` rather
+    than silently wrapping.
+    """
+    labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError(
+            f"labels out of range [0, {num_classes}): "
+            f"min={labels.min()}, max={labels.max()}"
+        )
+    encoded = np.zeros((labels.size, num_classes), dtype=np.float64)
+    encoded[np.arange(labels.size), labels] = 1.0
+    return Matrix(encoded, dtype=dtype)
+
+
+class Loss:
+    """Base class: ``forward(pred, target) -> float`` then ``backward()``.
+
+    ``backward`` returns dL/dpred for the *same* prediction/target pair
+    passed to the preceding ``forward`` call.
+    """
+
+    def forward(self, prediction: Matrix, target) -> float:
+        raise NotImplementedError
+
+    def backward(self) -> Matrix:
+        raise NotImplementedError
+
+    def __call__(self, prediction: Matrix, target) -> float:
+        return self.forward(prediction, target)

@@ -1,0 +1,55 @@
+"""Binary cross-entropy over sigmoid probabilities.
+
+Included because related in-kernel work (LinnOS) uses binary
+classification in the I/O scheduler; KML positions itself as a superset
+of that capability.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import mathops
+from ..matrix import Matrix
+from .base import Loss
+
+__all__ = ["BinaryCrossEntropyLoss"]
+
+# Probability clamp keeps log() finite for saturated sigmoids.
+_EPS = 1e-7
+
+
+class BinaryCrossEntropyLoss(Loss):
+    """-mean(t*log(p) + (1-t)*log(1-p)) over probabilities in (0, 1)."""
+
+    def __init__(self):
+        self._probs: Optional[np.ndarray] = None
+        self._target: Optional[np.ndarray] = None
+        self._dtype: str = "float32"
+
+    def forward(self, prediction: Matrix, target) -> float:
+        probs = np.clip(prediction.to_numpy(), _EPS, 1.0 - _EPS)
+        tgt = target.to_numpy() if isinstance(target, Matrix) else np.asarray(
+            target, dtype=np.float64
+        )
+        if tgt.ndim == 1:
+            tgt = tgt.reshape(probs.shape[0], -1)
+        if tgt.shape != probs.shape:
+            raise ValueError(f"target shape {tgt.shape} != prediction {probs.shape}")
+        self._probs = probs
+        self._target = tgt
+        self._dtype = prediction.dtype
+        losses = tgt * mathops.kml_log(probs) + (1.0 - tgt) * mathops.kml_log(
+            1.0 - probs
+        )
+        return float(-np.mean(losses))
+
+    def backward(self) -> Matrix:
+        if self._probs is None or self._target is None:
+            raise RuntimeError("backward() before forward()")
+        grad = (self._probs - self._target) / (
+            self._probs * (1.0 - self._probs)
+        )
+        return Matrix(grad / self._probs.size, dtype=self._dtype)

@@ -1,0 +1,53 @@
+"""Softmax cross-entropy, the loss of the readahead classifier."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import mathops
+from ..matrix import Matrix
+from .base import Loss, one_hot
+
+__all__ = ["CrossEntropyLoss"]
+
+
+class CrossEntropyLoss(Loss):
+    """Fused softmax + negative log likelihood over logits.
+
+    Accepts integer class labels (array-like) or a one-hot ``Matrix``.
+    The fused form keeps the backward pass to the numerically exact
+    ``softmax(logits) - onehot`` divided by the batch size.
+    """
+
+    def __init__(self):
+        self._softmax: Optional[np.ndarray] = None
+        self._onehot: Optional[np.ndarray] = None
+        self._dtype: str = "float32"
+
+    def forward(self, prediction: Matrix, target) -> float:
+        logits = prediction.to_numpy()
+        if isinstance(target, Matrix):
+            onehot = target.to_numpy()
+            if onehot.shape != logits.shape:
+                raise ValueError(
+                    f"one-hot target shape {onehot.shape} != logits {logits.shape}"
+                )
+        else:
+            onehot = one_hot(target, logits.shape[1]).to_numpy()
+            if onehot.shape[0] != logits.shape[0]:
+                raise ValueError(
+                    f"{onehot.shape[0]} labels for {logits.shape[0]} rows"
+                )
+        log_probs = mathops.kml_log_softmax(logits, axis=1)
+        self._softmax = mathops.kml_softmax(logits, axis=1)
+        self._onehot = onehot
+        self._dtype = prediction.dtype
+        return float(-np.sum(onehot * log_probs) / logits.shape[0])
+
+    def backward(self) -> Matrix:
+        if self._softmax is None or self._onehot is None:
+            raise RuntimeError("backward() before forward()")
+        n = self._softmax.shape[0]
+        return Matrix((self._softmax - self._onehot) / n, dtype=self._dtype)

@@ -1,0 +1,38 @@
+"""Mean squared error loss."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..matrix import Matrix
+from .base import Loss
+
+__all__ = ["MSELoss"]
+
+
+class MSELoss(Loss):
+    """Mean over all elements of (pred - target)^2."""
+
+    def __init__(self):
+        self._diff: Optional[np.ndarray] = None
+        self._dtype: str = "float32"
+
+    def forward(self, prediction: Matrix, target) -> float:
+        pred = prediction.to_numpy()
+        tgt = target.to_numpy() if isinstance(target, Matrix) else np.asarray(
+            target, dtype=np.float64
+        )
+        if tgt.ndim == 1:
+            tgt = tgt.reshape(1, -1)
+        if tgt.shape != pred.shape:
+            raise ValueError(f"target shape {tgt.shape} != prediction {pred.shape}")
+        self._diff = pred - tgt
+        self._dtype = prediction.dtype
+        return float(np.mean(self._diff**2))
+
+    def backward(self) -> Matrix:
+        if self._diff is None:
+            raise RuntimeError("backward() before forward()")
+        return Matrix(2.0 * self._diff / self._diff.size, dtype=self._dtype)

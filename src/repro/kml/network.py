@@ -1,0 +1,189 @@
+"""Model container: a chain computation graph traversed for inference.
+
+KML builds a DAG of layers and traverses it for inference, propagating
+each layer's output to its successors; gradients flow back along the
+reverse topological order (HotStorage '21, section 2).  The prototype
+supports *chain* graphs processed serially -- :class:`Sequential` is
+exactly that, with a small :class:`Graph` generalization used by the
+autodiff tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .layers.base import Layer, Parameter
+from .losses.base import Loss
+from .matrix import Matrix
+from .optimizers import Optimizer
+
+__all__ = ["Sequential"]
+
+
+class Sequential:
+    """A serially-processed chain of layers with train/predict helpers."""
+
+    def __init__(self, layers: Optional[Iterable[Layer]] = None, name: str = "model"):
+        self.name = name
+        self.layers: List[Layer] = list(layers or [])
+
+    def add(self, layer: Layer) -> "Sequential":
+        """Append a layer; returns self for chaining."""
+        self.layers.append(layer)
+        return self
+
+    # ------------------------------------------------------------------
+    # Forward / backward traversal
+    # ------------------------------------------------------------------
+
+    def forward(self, x: Matrix) -> Matrix:
+        """Traverse the chain, feeding each output to the next layer."""
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out)
+        return out
+
+    __call__ = forward
+
+    def backward(self, grad_output: Matrix) -> Matrix:
+        """Propagate gradients in reverse layer order."""
+        grad = grad_output
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    # ------------------------------------------------------------------
+    # Parameters and modes
+    # ------------------------------------------------------------------
+
+    def parameters(self) -> List[Parameter]:
+        params: List[Parameter] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def zero_grad(self) -> None:
+        for layer in self.layers:
+            layer.zero_grad()
+
+    def train(self) -> None:
+        for layer in self.layers:
+            layer.train()
+
+    def eval(self) -> None:
+        for layer in self.layers:
+            layer.eval()
+
+    @property
+    def num_parameters(self) -> int:
+        return sum(p.value.rows * p.value.cols for p in self.parameters())
+
+    @property
+    def nbytes(self) -> int:
+        """Persistent model memory (parameter values + gradient buffers)."""
+        return sum(layer.nbytes for layer in self.layers)
+
+    # ------------------------------------------------------------------
+    # Training helpers
+    # ------------------------------------------------------------------
+
+    def _infer_dtype(self, dtype: Optional[str]) -> str:
+        """Resolve the input dtype: explicit > first parameter > float32."""
+        if dtype is not None:
+            return dtype
+        params = self.parameters()
+        return params[0].value.dtype if params else "float32"
+
+    def train_step(
+        self, x: Matrix, target, loss_fn: Loss, optimizer: Optimizer
+    ) -> float:
+        """One SGD iteration: forward, loss, backward, parameter update."""
+        self.zero_grad()
+        prediction = self.forward(x)
+        loss = loss_fn.forward(prediction, target)
+        self.backward(loss_fn.backward())
+        optimizer.step()
+        return loss
+
+    def fit(
+        self,
+        x: np.ndarray,
+        labels,
+        loss_fn: Loss,
+        optimizer: Optimizer,
+        epochs: int = 10,
+        batch_size: int = 32,
+        rng: Optional[np.random.Generator] = None,
+        dtype: Optional[str] = None,
+        shuffle: bool = True,
+    ) -> List[float]:
+        """Mini-batch training loop; returns the mean loss per epoch.
+
+        ``labels`` may be integer class labels (for classification
+        losses) or a 2-D float array (for regression losses).  The
+        input dtype defaults to the model's parameter dtype.
+        """
+        dtype = self._infer_dtype(dtype)
+        x = np.asarray(x, dtype=np.float64)
+        labels = np.asarray(labels)
+        if x.ndim != 2:
+            raise ValueError(f"x must be 2-D, got shape {x.shape}")
+        if len(labels) != len(x):
+            raise ValueError(f"{len(labels)} labels for {len(x)} samples")
+        rng = rng or np.random.default_rng()
+        self.train()
+        history: List[float] = []
+        indices = np.arange(len(x))
+        for _ in range(epochs):
+            if shuffle:
+                rng.shuffle(indices)
+            epoch_losses = []
+            for start in range(0, len(x), batch_size):
+                batch = indices[start : start + batch_size]
+                xb = Matrix(x[batch], dtype=dtype)
+                yb = labels[batch]
+                if yb.ndim > 1:
+                    yb = Matrix(yb, dtype=dtype)
+                epoch_losses.append(self.train_step(xb, yb, loss_fn, optimizer))
+            history.append(float(np.mean(epoch_losses)))
+        return history
+
+    # ------------------------------------------------------------------
+    # Inference helpers
+    # ------------------------------------------------------------------
+
+    def predict(self, x, dtype: Optional[str] = None) -> Matrix:
+        """Forward pass in eval mode; accepts arrays or a Matrix."""
+        dtype = self._infer_dtype(dtype)
+        was_training = any(layer.training for layer in self.layers)
+        self.eval()
+        try:
+            inp = x if isinstance(x, Matrix) else Matrix(np.asarray(x), dtype=dtype)
+            return self.forward(inp)
+        finally:
+            if was_training:
+                self.train()
+
+    def predict_classes(self, x, dtype: Optional[str] = None) -> np.ndarray:
+        """Argmax class predictions for a batch."""
+        return self.predict(x, dtype=dtype).argmax(axis=1)
+
+    def accuracy(self, x, labels, dtype: Optional[str] = None) -> float:
+        """Fraction of rows whose argmax matches ``labels``."""
+        predicted = self.predict_classes(x, dtype=dtype)
+        labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+        if len(labels) != len(predicted):
+            raise ValueError(f"{len(labels)} labels for {len(predicted)} rows")
+        return float(np.mean(predicted == labels))
+
+    def summary(self) -> str:
+        """Human-readable architecture listing."""
+        lines = [f"Sequential {self.name!r}:"]
+        for i, layer in enumerate(self.layers):
+            lines.append(f"  [{i}] {layer!r}")
+        lines.append(
+            f"  parameters: {self.num_parameters} ({self.nbytes} bytes incl. grads)"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Parameter optimizers: SGD with momentum (the paper's choice) and Adam.
+
+The readahead network trains with SGD, learning rate 0.01 and momentum
+0.99 (HotStorage '21, section 4).  Adam is provided as an extension to
+demonstrate that optimizers plug in behind the same interface.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from .layers.base import Parameter
+from .matrix import Matrix
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base optimizer: holds parameters, applies ``step``, clears grads."""
+
+    def __init__(self, parameters: Iterable[Parameter]):
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer needs at least one parameter")
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with classical momentum.
+
+    ``v <- momentum * v + grad;  w <- w - lr * v`` -- the Sutskever et
+    al. formulation cited by the paper.
+    """
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+    ):
+        super().__init__(parameters)
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity: Dict[int, Matrix] = {}
+
+    def step(self) -> None:
+        for param in self.parameters:
+            grad = param.grad
+            if self.momentum > 0.0:
+                vel = self._velocity.get(id(param))
+                if vel is None:
+                    vel = Matrix.zeros(grad.rows, grad.cols, dtype=grad.dtype)
+                vel = vel * self.momentum + grad
+                self._velocity[id(param)] = vel
+                update = vel
+            else:
+                update = grad
+            param.value = param.value - update * self.lr
+
+
+class Adam(Optimizer):
+    """Adam optimizer (extension beyond the paper's SGD)."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        super().__init__(parameters)
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: Dict[int, Matrix] = {}
+        self._v: Dict[int, Matrix] = {}
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for param in self.parameters:
+            grad = param.grad
+            key = id(param)
+            m = self._m.get(key) or Matrix.zeros(grad.rows, grad.cols, dtype=grad.dtype)
+            v = self._v.get(key) or Matrix.zeros(grad.rows, grad.cols, dtype=grad.dtype)
+            m = m * self.beta1 + grad * (1.0 - self.beta1)
+            v = v * self.beta2 + grad * grad * (1.0 - self.beta2)
+            self._m[key] = m
+            self._v[key] = v
+            m_hat = m * (1.0 / bias1)
+            v_hat = v * (1.0 / bias2)
+            denom = v_hat.sqrt() + self.eps
+            param.value = param.value - (m_hat / denom) * self.lr

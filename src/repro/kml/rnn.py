@@ -1,0 +1,215 @@
+"""LSTM sequence models over the autodiff DAG (paper future work).
+
+Section 6: "We also plan to support arbitrary computation DAGs (e.g.,
+Recurrent Neural Networks (RNNs)) and Long Short-Term Memory (LSTM)."
+The prototype's layer stack only handles chain graphs; the reverse-mode
+tape in :mod:`repro.kml.autodiff` has no such restriction, so this
+module implements that future work: an LSTM cell unrolled over time is
+a genuinely non-chain DAG (the cell state fans out to every later
+step), differentiated end-to-end by the tape.
+
+Gate weights are kept as separate matrices per gate (input, forget,
+cell, output) rather than one fused block, which keeps the tape simple
+and the arithmetic identical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from . import autodiff as ad
+from .mathops import kml_softmax
+
+__all__ = ["LSTMCell", "LSTMClassifier"]
+
+_GATES = ("i", "f", "g", "o")
+
+
+class LSTMCell:
+    """One LSTM cell: parameters plus a tape-based step function."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if input_size < 1 or hidden_size < 1:
+            raise ValueError("sizes must be positive")
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        rng = rng or np.random.default_rng()
+        bound = float(np.sqrt(6.0 / (input_size + hidden_size)))
+        self.params: Dict[str, np.ndarray] = {}
+        for gate in _GATES:
+            self.params[f"Wx_{gate}"] = rng.uniform(
+                -bound, bound, size=(input_size, hidden_size)
+            )
+            self.params[f"Wh_{gate}"] = rng.uniform(
+                -bound, bound, size=(hidden_size, hidden_size)
+            )
+            self.params[f"b_{gate}"] = np.zeros((1, hidden_size))
+        # Forget-gate bias starts at 1: the standard trick so early
+        # training does not erase the cell state.
+        self.params["b_f"] += 1.0
+
+    def lift(self) -> Dict[str, ad.Tensor]:
+        """Wrap every parameter in a fresh requires-grad Tensor."""
+        return {
+            name: ad.Tensor(value, requires_grad=True, name=name)
+            for name, value in self.params.items()
+        }
+
+    def step(
+        self,
+        tensors: Dict[str, ad.Tensor],
+        x_t: ad.Tensor,
+        h_prev: ad.Tensor,
+        c_prev: ad.Tensor,
+    ) -> Tuple[ad.Tensor, ad.Tensor]:
+        """One time step on the tape; returns (h_t, c_t)."""
+
+        def gate(name, activation):
+            pre = (
+                x_t @ tensors[f"Wx_{name}"]
+                + h_prev @ tensors[f"Wh_{name}"]
+                + tensors[f"b_{name}"]
+            )
+            return activation(pre)
+
+        i_t = gate("i", ad.sigmoid)
+        f_t = gate("f", ad.sigmoid)
+        g_t = gate("g", ad.tanh)
+        o_t = gate("o", ad.sigmoid)
+        c_t = f_t * c_prev + i_t * g_t
+        h_t = o_t * ad.tanh(c_t)
+        return h_t, c_t
+
+    @property
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.params.values())
+
+
+class LSTMClassifier:
+    """LSTM + linear head for fixed-length sequence classification.
+
+    ``fit(sequences, labels)`` trains with SGD + momentum through the
+    unrolled tape; ``sequences`` has shape (N, T, input_size).
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        num_classes: int,
+        rng: Optional[np.random.Generator] = None,
+        lr: float = 0.05,
+        momentum: float = 0.9,
+    ):
+        if num_classes < 2:
+            raise ValueError("need at least two classes")
+        self.cell = LSTMCell(input_size, hidden_size, rng=rng)
+        rng = rng or np.random.default_rng()
+        bound = float(np.sqrt(6.0 / (hidden_size + num_classes)))
+        self.head_w = rng.uniform(-bound, bound, size=(hidden_size, num_classes))
+        self.head_b = np.zeros((1, num_classes))
+        self.num_classes = num_classes
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity: Dict[str, np.ndarray] = {}
+        self.loss_history: List[float] = []
+
+    # ------------------------------------------------------------------
+
+    def _forward(
+        self, tensors: Dict[str, ad.Tensor], sequence: np.ndarray
+    ) -> ad.Tensor:
+        """Unroll the cell over one sequence; returns logits (1, C)."""
+        h = ad.Tensor(np.zeros((1, self.cell.hidden_size)))
+        c = ad.Tensor(np.zeros((1, self.cell.hidden_size)))
+        for t in range(sequence.shape[0]):
+            x_t = ad.Tensor(sequence[t : t + 1])
+            h, c = self.cell.step(tensors, x_t, h, c)
+        return h @ tensors["head_w"] + tensors["head_b"]
+
+    def _lift_all(self) -> Dict[str, ad.Tensor]:
+        tensors = self.cell.lift()
+        tensors["head_w"] = ad.Tensor(self.head_w, requires_grad=True)
+        tensors["head_b"] = ad.Tensor(self.head_b, requires_grad=True)
+        return tensors
+
+    def _apply_grads(self, tensors: Dict[str, ad.Tensor]) -> None:
+        for name, tensor in tensors.items():
+            if tensor.grad is None:
+                continue
+            velocity = self._velocity.get(name)
+            if velocity is None:
+                velocity = np.zeros_like(tensor.grad)
+            velocity = self.momentum * velocity + tensor.grad
+            self._velocity[name] = velocity
+            target = (
+                self.cell.params[name]
+                if name in self.cell.params
+                else getattr(self, name)
+            )
+            target -= self.lr * velocity
+
+    # ------------------------------------------------------------------
+
+    def train_step(self, sequence: np.ndarray, label: int) -> float:
+        """One sequence, one backprop-through-time update."""
+        tensors = self._lift_all()
+        logits = self._forward(tensors, np.asarray(sequence, dtype=np.float64))
+        onehot = np.zeros((1, self.num_classes))
+        onehot[0, label] = 1.0
+        loss = ad.softmax_cross_entropy(logits, onehot)
+        loss.backward()
+        self._apply_grads(tensors)
+        return float(loss.value.item())
+
+    def fit(
+        self,
+        sequences,
+        labels,
+        epochs: int = 10,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "LSTMClassifier":
+        sequences = np.asarray(sequences, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+        if sequences.ndim != 3:
+            raise ValueError(
+                f"sequences must be (N, T, input), got {sequences.shape}"
+            )
+        if len(sequences) != len(labels):
+            raise ValueError("sequence/label count mismatch")
+        rng = rng or np.random.default_rng()
+        order = np.arange(len(sequences))
+        for _ in range(epochs):
+            rng.shuffle(order)
+            losses = [
+                self.train_step(sequences[i], int(labels[i])) for i in order
+            ]
+            self.loss_history.append(float(np.mean(losses)))
+        return self
+
+    # ------------------------------------------------------------------
+
+    def predict_proba(self, sequences) -> np.ndarray:
+        sequences = np.asarray(sequences, dtype=np.float64)
+        if sequences.ndim == 2:
+            sequences = sequences[None, :, :]
+        tensors = self._lift_all()
+        probs = []
+        for sequence in sequences:
+            logits = self._forward(tensors, sequence)
+            probs.append(kml_softmax(logits.value, axis=1)[0])
+        return np.vstack(probs)
+
+    def predict(self, sequences) -> np.ndarray:
+        return np.argmax(self.predict_proba(sequences), axis=1)
+
+    def accuracy(self, sequences, labels) -> float:
+        labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+        return float(np.mean(self.predict(sequences) == labels))

@@ -1,0 +1,160 @@
+"""Training utilities: splits, early stopping, learning-rate schedules.
+
+The paper validates with k-fold CV; a production library also needs a
+plain train/validation split, early stopping (kernel retraining budgets
+are tight), and learning-rate decay.  These helpers are deliberately
+small and composable with any :class:`~repro.kml.network.Sequential`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .losses.base import Loss
+from .network import Sequential
+from .optimizers import Optimizer
+
+__all__ = [
+    "train_val_split",
+    "EarlyStopping",
+    "StepDecay",
+    "TrainReport",
+    "fit_with_validation",
+]
+
+
+def train_val_split(
+    x,
+    labels,
+    val_fraction: float = 0.2,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffled (x_train, y_train, x_val, y_val) split."""
+    x = np.asarray(x, dtype=np.float64)
+    labels = np.asarray(labels)
+    if len(x) != len(labels):
+        raise ValueError(f"{len(labels)} labels for {len(x)} samples")
+    if not 0.0 < val_fraction < 1.0:
+        raise ValueError("val_fraction must be in (0, 1)")
+    n_val = max(1, int(round(len(x) * val_fraction)))
+    if n_val >= len(x):
+        raise ValueError("split leaves no training data")
+    rng = rng or np.random.default_rng()
+    order = np.arange(len(x))
+    rng.shuffle(order)
+    val_idx, train_idx = order[:n_val], order[n_val:]
+    return x[train_idx], labels[train_idx], x[val_idx], labels[val_idx]
+
+
+class EarlyStopping:
+    """Stop when the monitored value fails to improve ``patience`` times."""
+
+    def __init__(self, patience: int = 5, min_delta: float = 0.0):
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        if min_delta < 0:
+            raise ValueError("min_delta must be non-negative")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best: Optional[float] = None
+        self.best_epoch = -1
+        self._stale = 0
+
+    def step(self, value: float, epoch: int) -> bool:
+        """Record an epoch's validation loss; True means "stop now"."""
+        if self.best is None or value < self.best - self.min_delta:
+            self.best = value
+            self.best_epoch = epoch
+            self._stale = 0
+            return False
+        self._stale += 1
+        return self._stale >= self.patience
+
+
+class StepDecay:
+    """Multiply the learning rate by ``factor`` every ``every`` epochs."""
+
+    def __init__(self, every: int, factor: float = 0.5, min_lr: float = 1e-6):
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        if not 0.0 < factor <= 1.0:
+            raise ValueError("factor must be in (0, 1]")
+        self.every = every
+        self.factor = factor
+        self.min_lr = min_lr
+
+    def apply(self, optimizer: Optimizer, epoch: int) -> float:
+        """Adjust optimizer.lr for ``epoch`` (0-based); returns the lr."""
+        if epoch > 0 and epoch % self.every == 0:
+            optimizer.lr = max(self.min_lr, optimizer.lr * self.factor)
+        return optimizer.lr
+
+
+@dataclass
+class TrainReport:
+    """What :func:`fit_with_validation` returns."""
+
+    train_losses: List[float] = field(default_factory=list)
+    val_losses: List[float] = field(default_factory=list)
+    learning_rates: List[float] = field(default_factory=list)
+    stopped_early: bool = False
+    best_epoch: int = -1
+
+    @property
+    def epochs_run(self) -> int:
+        return len(self.train_losses)
+
+
+def fit_with_validation(
+    model: Sequential,
+    x,
+    labels,
+    loss_fn: Loss,
+    optimizer: Optimizer,
+    epochs: int = 100,
+    batch_size: int = 32,
+    val_fraction: float = 0.2,
+    early_stopping: Optional[EarlyStopping] = None,
+    schedule: Optional[StepDecay] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> TrainReport:
+    """Train with a held-out split, optional early stop and LR decay."""
+    rng = rng or np.random.default_rng()
+    x_train, y_train, x_val, y_val = train_val_split(
+        x, labels, val_fraction, rng
+    )
+    report = TrainReport()
+    from .matrix import Matrix  # local import to avoid cycle at module load
+
+    for epoch in range(epochs):
+        if schedule is not None:
+            schedule.apply(optimizer, epoch)
+        report.learning_rates.append(optimizer.lr)
+        history = model.fit(
+            x_train, y_train, loss_fn, optimizer,
+            epochs=1, batch_size=batch_size, rng=rng,
+        )
+        report.train_losses.append(history[0])
+        # Validation loss in eval mode.
+        model.eval()
+        try:
+            prediction = model.forward(
+                Matrix(x_val, dtype=model._infer_dtype(None))
+            )
+            y_for_loss = y_val if np.asarray(y_val).ndim == 1 else Matrix(y_val)
+            val_loss = loss_fn.forward(prediction, y_for_loss)
+        finally:
+            model.train()
+        report.val_losses.append(val_loss)
+        if early_stopping is not None and early_stopping.step(val_loss, epoch):
+            report.stopped_early = True
+            report.best_epoch = early_stopping.best_epoch
+            break
+    if not report.stopped_early and early_stopping is not None:
+        report.best_epoch = early_stopping.best_epoch
+    elif early_stopping is None:
+        report.best_epoch = int(np.argmin(report.val_losses))
+    return report

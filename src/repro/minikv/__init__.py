@@ -1,0 +1,25 @@
+"""minikv: from-scratch mini LSM key-value store (RocksDB stand-in)."""
+
+from .bloom import BloomFilter
+from .block_cache import BlockCache
+from .compaction import compact_tables, merge_records
+from .db import DBOptions, DBStats, MiniKV
+from .memtable import MemTable, TOMBSTONE
+from .sstable import SSTableBuilder, SSTableReader, FOOTER_MAGIC
+from .wal import WriteAheadLog
+
+__all__ = [
+    "BloomFilter",
+    "BlockCache",
+    "compact_tables",
+    "merge_records",
+    "DBOptions",
+    "DBStats",
+    "MiniKV",
+    "MemTable",
+    "TOMBSTONE",
+    "SSTableBuilder",
+    "SSTableReader",
+    "FOOTER_MAGIC",
+    "WriteAheadLog",
+]

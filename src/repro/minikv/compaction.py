@@ -1,0 +1,69 @@
+"""K-way merge compaction for minikv (size-tiered, two-tier).
+
+Newer tables shadow older ones.  :func:`merge_records` is the core:
+it merges already-sorted record streams keeping only the newest version
+of each key, optionally dropping tombstones (legal only when merging
+into the oldest level, where nothing underneath can resurrect).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, List, Sequence
+
+from ..os_sim.vfs import SimFS
+from .memtable import TOMBSTONE
+from .sstable import Record, SSTableBuilder, SSTableReader
+
+__all__ = ["merge_records", "compact_tables"]
+
+
+def merge_records(
+    streams: Sequence[Iterator[Record]], drop_tombstones: bool
+) -> Iterator[Record]:
+    """Merge sorted record streams; index 0 is newest and wins ties."""
+    heap = []
+    iterators = [iter(s) for s in streams]
+    for src, it in enumerate(iterators):
+        try:
+            key, value = next(it)
+            heap.append((key, src, value))
+        except StopIteration:
+            pass
+    heapq.heapify(heap)
+    last_key = None
+    while heap:
+        key, src, value = heapq.heappop(heap)
+        try:
+            nxt_key, nxt_value = next(iterators[src])
+            heapq.heappush(heap, (nxt_key, src, nxt_value))
+        except StopIteration:
+            pass
+        if key == last_key:
+            continue  # an older version of a key already emitted
+        last_key = key
+        if drop_tombstones and value is TOMBSTONE:
+            continue
+        yield key, value
+
+
+def compact_tables(
+    fs: SimFS,
+    tables: List[SSTableReader],
+    out_name: str,
+    drop_tombstones: bool,
+    block_size: int = 4096,
+) -> SSTableReader:
+    """Merge ``tables`` (newest first) into one new SSTable.
+
+    The caller is responsible for unlinking the inputs afterwards; this
+    function only reads them (through the page cache, so compaction has
+    its real sequential-I/O cost) and writes the output.
+    """
+    if not tables:
+        raise ValueError("nothing to compact")
+    builder = SSTableBuilder(fs, out_name, block_size=block_size)
+    streams = [table.scan() for table in tables]
+    for key, value in merge_records(streams, drop_tombstones=drop_tombstones):
+        builder.add(key, value)
+    return builder.finish()

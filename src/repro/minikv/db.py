@@ -1,0 +1,291 @@
+"""minikv: a mini LSM-tree key-value store over the simulated VFS.
+
+The RocksDB stand-in for the reproduction (see DESIGN.md section 2):
+memtable + WAL, flush to L0 SSTables, size-tiered compaction into L1,
+bloom-filtered point gets, forward/reverse iterators, and a manifest
+for recovery.  Its read and write paths generate the same *page-cache
+access patterns* db_bench workloads generate on RocksDB, which is all
+the readahead case study observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from ..os_sim.stack import StorageStack
+from ..os_sim.vfs import SimFS
+from .compaction import compact_tables, merge_records
+from .memtable import TOMBSTONE, MemTable
+from .sstable import SSTableBuilder, SSTableReader
+from .wal import WriteAheadLog
+
+__all__ = ["MiniKV", "DBOptions", "DBStats"]
+
+
+@dataclass
+class DBOptions:
+    """Tunables, defaulted for benchmark-scale datasets."""
+
+    memtable_bytes: int = 1 << 20      # flush threshold (1 MiB)
+    l0_compaction_trigger: int = 4     # L0 tables before compaction
+    block_size: int = 4096             # one simulated page
+    wal_enabled: bool = True
+    name: str = "db"
+
+
+@dataclass
+class DBStats:
+    puts: int = 0
+    gets: int = 0
+    deletes: int = 0
+    get_hits: int = 0
+    flushes: int = 0
+    compactions: int = 0
+    seeks: int = 0
+
+
+class MiniKV:
+    """LSM KV store: put/get/delete/scan with crash recovery."""
+
+    def __init__(self, stack: StorageStack, options: Optional[DBOptions] = None):
+        self.stack = stack
+        self.fs: SimFS = stack.fs
+        self.options = options or DBOptions()
+        self.stats = DBStats()
+        self._memtable = MemTable()
+        self._wal = WriteAheadLog(self.fs, f"{self.options.name}/wal")
+        self._l0: List[SSTableReader] = []  # newest first
+        self._l1: List[SSTableReader] = []  # at most one table
+        self._next_table_seq = 0
+        self._recover()
+
+    # ------------------------------------------------------------------
+    # Recovery / manifest
+    # ------------------------------------------------------------------
+
+    @property
+    def _manifest_name(self) -> str:
+        return f"{self.options.name}/MANIFEST"
+
+    def _write_manifest(self) -> None:
+        lines = [f"seq {self._next_table_seq}"]
+        for table in self._l0:
+            lines.append(f"0 {table.name}")
+        for table in self._l1:
+            lines.append(f"1 {table.name}")
+        payload = "\n".join(lines).encode("ascii")
+        if self.fs.exists(self._manifest_name):
+            self.fs.unlink(self._manifest_name)
+        handle = self.fs.open(self._manifest_name, create=True)
+        self.fs.write(handle, 0, payload)
+        self.fs.fsync(handle)
+
+    def _recover(self) -> None:
+        """Rebuild levels from the manifest, then replay the WAL."""
+        if self.fs.exists(self._manifest_name):
+            handle = self.fs.open(self._manifest_name)
+            raw = self.fs.read(handle, 0, self.fs.stat_size(self._manifest_name))
+            for line in raw.decode("ascii").splitlines():
+                tag, value = line.split(" ", 1)
+                if tag == "seq":
+                    self._next_table_seq = int(value)
+                elif tag == "0":
+                    self._l0.append(SSTableReader(self.fs, value))
+                elif tag == "1":
+                    self._l1.append(SSTableReader(self.fs, value))
+                else:
+                    raise ValueError(f"bad manifest line {line!r}")
+        if self.options.wal_enabled:
+            for key, value in self._wal.replay():
+                if value is None:
+                    self._memtable.delete(key)
+                else:
+                    self._memtable.put(key, value)
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._check_key(key)
+        if self.options.wal_enabled:
+            self._wal.append(key, value)
+        self._memtable.put(key, value)
+        self.stats.puts += 1
+        self._maybe_flush()
+
+    def delete(self, key: bytes) -> None:
+        self._check_key(key)
+        if self.options.wal_enabled:
+            self._wal.append(key, None)
+        self._memtable.delete(key)
+        self.stats.deletes += 1
+        self._maybe_flush()
+
+    @staticmethod
+    def _check_key(key: bytes) -> None:
+        if not isinstance(key, (bytes, bytearray)) or len(key) == 0:
+            raise ValueError("keys must be non-empty bytes")
+
+    def _maybe_flush(self) -> None:
+        if self._memtable.approx_bytes >= self.options.memtable_bytes:
+            self.flush()
+
+    def flush(self) -> None:
+        """Persist the memtable as a new L0 SSTable."""
+        if len(self._memtable) == 0:
+            return
+        name = self._new_table_name()
+        builder = SSTableBuilder(self.fs, name, block_size=self.options.block_size)
+        for key, value in self._memtable.items_sorted():
+            builder.add(key, value)
+        self._l0.insert(0, builder.finish())
+        self._memtable.clear()
+        if self.options.wal_enabled:
+            self._wal.reset()
+        self.stats.flushes += 1
+        self._write_manifest()
+        self._maybe_compact()
+
+    def _new_table_name(self) -> str:
+        name = f"{self.options.name}/sst-{self._next_table_seq:06d}"
+        self._next_table_seq += 1
+        return name
+
+    def _maybe_compact(self) -> None:
+        if len(self._l0) <= self.options.l0_compaction_trigger:
+            return
+        inputs = self._l0 + self._l1  # newest first, L1 oldest
+        out_name = self._new_table_name()
+        merged = compact_tables(
+            self.fs,
+            inputs,
+            out_name,
+            drop_tombstones=True,  # L1 is the bottom level
+            block_size=self.options.block_size,
+        )
+        for table in inputs:
+            self.fs.unlink(table.name)
+        self._l0 = []
+        self._l1 = [merged]
+        self.stats.compactions += 1
+        self._write_manifest()
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        self._check_key(key)
+        self.stats.gets += 1
+        value = self._memtable.get(key)
+        if value is None:
+            for table in self._l0 + self._l1:
+                value = table.get(key)
+                if value is not None:
+                    break
+        if value is None or value is TOMBSTONE:
+            return None
+        self.stats.get_hits += 1
+        return bytes(value)
+
+    def _streams(self, start_key: Optional[bytes] = None):
+        memtable_items = (
+            (k, v)
+            for k, v in self._memtable.items_sorted()
+            if start_key is None or k >= start_key
+        )
+        streams = [iter(list(memtable_items))]
+        streams.extend(table.scan(start_key) for table in self._l0)
+        streams.extend(table.scan(start_key) for table in self._l1)
+        return streams
+
+    def scan(self, start_key: Optional[bytes] = None) -> Iterator[Tuple[bytes, bytes]]:
+        """Live records in ascending key order, optionally from a seek key."""
+        self.stats.seeks += 1
+        for key, value in merge_records(
+            self._streams(start_key), drop_tombstones=True
+        ):
+            yield key, bytes(value)
+
+    def scan_reverse(self) -> Iterator[Tuple[bytes, bytes]]:
+        """All live records in descending key order.
+
+        Reverse merge: each source iterates in reverse, the heap orders
+        by descending key, and newer sources still win ties.
+        """
+        self.stats.seeks += 1
+        import heapq
+
+        streams = [
+            iter(sorted(self._memtable.items_sorted(), reverse=True))
+        ]
+        streams.extend(table.scan_reverse() for table in self._l0)
+        streams.extend(table.scan_reverse() for table in self._l1)
+        iterators = [iter(s) for s in streams]
+        heap = []
+        for src, it in enumerate(iterators):
+            try:
+                key, value = next(it)
+                heap.append((_ReverseKey(key), src, value))
+            except StopIteration:
+                pass
+        heapq.heapify(heap)
+        last_key = None
+        while heap:
+            rkey, src, value = heapq.heappop(heap)
+            try:
+                nxt_key, nxt_value = next(iterators[src])
+                heapq.heappush(heap, (_ReverseKey(nxt_key), src, nxt_value))
+            except StopIteration:
+                pass
+            if rkey.key == last_key:
+                continue
+            last_key = rkey.key
+            if value is TOMBSTONE:
+                continue
+            yield rkey.key, bytes(value)
+
+    # ------------------------------------------------------------------
+
+    def open_files(self):
+        """The struct-file handles of every open SSTable.
+
+        The KML readahead agent updates per-file ``ra_pages`` alongside
+        the device ioctl; this exposes the files it should track.
+        """
+        return [table._file for table in self._l0 + self._l1]
+
+    @property
+    def num_l0_tables(self) -> int:
+        return len(self._l0)
+
+    @property
+    def num_l1_tables(self) -> int:
+        return len(self._l1)
+
+    @property
+    def memtable_entries(self) -> int:
+        return len(self._memtable)
+
+    def close(self) -> None:
+        """Flush everything so a reopen sees all data."""
+        self.flush()
+        if self.options.wal_enabled:
+            self._wal.sync()
+
+
+class _ReverseKey:
+    """Orders bytes descending inside a min-heap."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: bytes):
+        self.key = key
+
+    def __lt__(self, other: "_ReverseKey") -> bool:
+        return self.key > other.key
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, _ReverseKey) and self.key == other.key

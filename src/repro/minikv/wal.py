@@ -1,0 +1,80 @@
+"""Write-ahead log: durability for the memtable.
+
+Each mutation is appended before it is applied; on crash, replaying the
+log rebuilds the unflushed memtable.  Record format (little-endian):
+
+    u16 key_len | u32 value_len | u8 flags | key | value
+    flags bit 0 = tombstone (value_len is then 0)
+
+A CRC32 per record detects torn tails: replay stops at the first bad
+record, which is exactly the recovery contract of RocksDB's WAL.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Iterator, Optional, Tuple
+
+from ..os_sim.vfs import File, SimFS
+
+__all__ = ["WriteAheadLog", "WAL_TOMBSTONE_FLAG"]
+
+WAL_TOMBSTONE_FLAG = 0x01
+
+_HEADER = struct.Struct("<HIBI")  # klen, vlen, flags, crc
+
+
+class WriteAheadLog:
+    """Appender/replayer over one SimFS file."""
+
+    def __init__(self, fs: SimFS, name: str):
+        self.fs = fs
+        self.name = name
+        self._file: Optional[File] = None
+
+    def _handle(self) -> File:
+        if self._file is None or self._file.closed:
+            self._file = self.fs.open(self.name, create=True)
+        return self._file
+
+    # ------------------------------------------------------------------
+
+    def append(self, key: bytes, value: Optional[bytes]) -> None:
+        """Log one put (value bytes) or delete (value None)."""
+        if len(key) > 0xFFFF:
+            raise ValueError("key too long for WAL record")
+        flags = WAL_TOMBSTONE_FLAG if value is None else 0
+        body = value or b""
+        crc = zlib.crc32(key + body + bytes([flags])) & 0xFFFFFFFF
+        record = _HEADER.pack(len(key), len(body), flags, crc) + key + body
+        self.fs.append(self._handle(), record)
+
+    def sync(self) -> None:
+        self.fs.fsync(self._handle())
+
+    def replay(self) -> Iterator[Tuple[bytes, Optional[bytes]]]:
+        """Yield (key, value-or-None) for every intact record, in order."""
+        if not self.fs.exists(self.name):
+            return
+        handle = self.fs.open(self.name)
+        raw = self.fs.read(handle, 0, self.fs.stat_size(self.name))
+        offset = 0
+        while offset + _HEADER.size <= len(raw):
+            klen, vlen, flags, crc = _HEADER.unpack_from(raw, offset)
+            start = offset + _HEADER.size
+            end = start + klen + vlen
+            if end > len(raw):
+                break  # torn tail
+            key = raw[start : start + klen]
+            body = raw[start + klen : end]
+            if zlib.crc32(key + body + bytes([flags])) & 0xFFFFFFFF != crc:
+                break  # corruption: stop replay here
+            yield key, (None if flags & WAL_TOMBSTONE_FLAG else body)
+            offset = end
+
+    def reset(self) -> None:
+        """Truncate the log after a successful memtable flush."""
+        if self.fs.exists(self.name):
+            self.fs.unlink(self.name)
+        self._file = None

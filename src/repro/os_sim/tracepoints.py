@@ -1,0 +1,97 @@
+"""Kernel-style tracepoints: the observation points KML hooks into.
+
+The paper collects training data "from the Linux kernel using LTTng
+tracepoints ... (e.g., add_to_page_cache, writeback_dirty_page)";
+at runtime the same data points are gathered by data-collection hook
+functions that KML users implement (section 4).
+
+:class:`TracepointRegistry` reproduces that mechanism: named
+tracepoints, cheap ``emit`` on the hot path, multiple subscribers, and
+per-tracepoint hit counters.  Subscriber exceptions are counted and
+suppressed -- a tracing hook must never crash the I/O path, mirroring
+the kernel's contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List
+
+__all__ = ["TraceEvent", "TracepointRegistry", "STANDARD_TRACEPOINTS"]
+
+#: Tracepoints the simulated memory-management subsystem emits.
+STANDARD_TRACEPOINTS = (
+    "add_to_page_cache",       # page inserted into the cache (miss fill / readahead)
+    "mark_page_accessed",      # page-cache hit on an already-resident page
+    "writeback_dirty_page",    # dirty page written back to the device
+    "readahead",               # a readahead window was issued
+    "block_ra_set",            # the device readahead knob changed (ioctl)
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One tracepoint firing.
+
+    ``fields`` carries what the paper's readahead hooks record: the
+    inode number, the page offset, and the time since module start.
+    """
+
+    name: str
+    timestamp: float
+    fields: Dict[str, Any]
+
+
+Subscriber = Callable[[TraceEvent], None]
+
+
+class TracepointRegistry:
+    """Named tracepoints with subscribe/emit and drop-safe dispatch."""
+
+    def __init__(self, names=STANDARD_TRACEPOINTS):
+        self._subscribers: Dict[str, List[Subscriber]] = {n: [] for n in names}
+        self.hit_counts: Dict[str, int] = {n: 0 for n in names}
+        self.subscriber_errors = 0
+
+    @property
+    def names(self):
+        return tuple(self._subscribers)
+
+    def register(self, name: str) -> None:
+        """Add a new tracepoint name (idempotent)."""
+        self._subscribers.setdefault(name, [])
+        self.hit_counts.setdefault(name, 0)
+
+    def subscribe(self, name: str, hook: Subscriber) -> None:
+        if name not in self._subscribers:
+            raise KeyError(f"unknown tracepoint {name!r}")
+        self._subscribers[name].append(hook)
+
+    def unsubscribe(self, name: str, hook: Subscriber) -> None:
+        try:
+            self._subscribers[name].remove(hook)
+        except (KeyError, ValueError):
+            raise KeyError(f"hook not subscribed to {name!r}") from None
+
+    def emit(self, name: str, timestamp: float, **fields: Any) -> None:
+        """Fire a tracepoint; cheap when nobody is listening."""
+        self.hit_counts[name] += 1
+        hooks = self._subscribers[name]
+        if not hooks:
+            return
+        event = TraceEvent(name=name, timestamp=timestamp, fields=fields)
+        for hook in hooks:
+            try:
+                hook(event)
+            except Exception:
+                # A tracing hook must never take down the I/O path.
+                self.subscriber_errors += 1
+
+    @property
+    def total_hits(self) -> int:
+        return sum(self.hit_counts.values())
+
+    def reset_counts(self) -> None:
+        for name in self.hit_counts:
+            self.hit_counts[name] = 0
+        self.subscriber_errors = 0

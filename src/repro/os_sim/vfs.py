@@ -1,0 +1,275 @@
+"""A small VFS over the simulated page cache: inodes, files, fadvise.
+
+This is the surface workloads (and the mini-LSM store) program against.
+It stores real bytes per inode, so the KV store above it is a genuine
+storage system, while all timing flows through the page cache and the
+device model.
+
+Readahead plumbing follows Linux: each open file has ``ra_pages``
+initialized from the block device, overridable per file (the ``struct
+file`` field KML updates) and by ``posix_fadvise`` hints --
+``FADV_SEQUENTIAL`` doubles the device default, ``FADV_RANDOM``
+disables readahead, ``FADV_NORMAL`` restores inheritance.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .block_layer import BlockLayer
+from .clock import SimClock
+from .device import PAGE_SIZE
+from .page_cache import PageCache
+from .readahead import ReadaheadState
+from .tracepoints import TracepointRegistry
+
+__all__ = ["Fadvise", "Inode", "File", "MemoryMap", "SimFS", "PAGE_SIZE"]
+
+
+class Fadvise(enum.Enum):
+    NORMAL = "normal"
+    SEQUENTIAL = "sequential"
+    RANDOM = "random"
+
+
+@dataclass
+class Inode:
+    """On-"disk" object: a growable byte extent."""
+
+    ino: int
+    name: str
+    data: bytearray = field(default_factory=bytearray)
+    nlink: int = 1
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    @property
+    def size_pages(self) -> int:
+        return (len(self.data) + PAGE_SIZE - 1) // PAGE_SIZE
+
+
+class File:
+    """An open file description: position, readahead state, hints."""
+
+    def __init__(self, inode: Inode, fs: "SimFS"):
+        self.inode = inode
+        self._fs = fs
+        self.pos = 0
+        self.ra_state = ReadaheadState()
+        self.ra_override: Optional[int] = None  # KML writes this
+        self.advice = Fadvise.NORMAL
+        self.closed = False
+
+    @property
+    def ra_pages(self) -> int:
+        """Effective readahead for this file (hint > override > device)."""
+        if self.advice is Fadvise.RANDOM:
+            return 0
+        base = (
+            self.ra_override
+            if self.ra_override is not None
+            else self._fs.block.ra_pages
+        )
+        if self.advice is Fadvise.SEQUENTIAL:
+            return base * 2
+        return base
+
+    def set_ra_pages(self, ra_pages: int) -> None:
+        """Per-file override (the ``struct file`` update KML performs)."""
+        if ra_pages < 0:
+            raise ValueError("ra_pages must be non-negative")
+        self.ra_override = ra_pages
+
+    def fadvise(self, advice: Fadvise) -> None:
+        self.advice = advice
+        if advice is Fadvise.RANDOM:
+            self.ra_state.reset()
+
+
+class MemoryMap:
+    """An mmap-style view of a file: page-granular, faulting on access.
+
+    The paper notes KML "intercepts mmap-based file accesses" because
+    they reach the page cache through the same fault path as read().
+    ``load(offset, length)`` simulates touching mapped memory: each
+    page not yet resident takes a (major) fault through the page cache,
+    firing the same tracepoints and charging the same device time.
+    """
+
+    def __init__(self, file: "File", fs: "SimFS"):
+        self._file = file
+        self._fs = fs
+        self.faults = 0
+        self.closed = False
+
+    @property
+    def length(self) -> int:
+        return self._file.inode.size
+
+    def load(self, offset: int, length: int) -> bytes:
+        """Touch the mapped range and return its bytes."""
+        if self.closed:
+            raise ValueError("access to unmapped MemoryMap")
+        if offset < 0 or length < 0:
+            raise ValueError("offset and length must be non-negative")
+        inode = self._file.inode
+        end = min(offset + length, inode.size)
+        if end <= offset:
+            return b""
+        cache = self._fs.cache
+        first_page = offset // PAGE_SIZE
+        last_page = (end - 1) // PAGE_SIZE
+        for page in range(first_page, last_page + 1):
+            if (inode.ino, page) not in cache:
+                self.faults += 1
+            cache.read_page(
+                inode.ino,
+                page,
+                self._file.ra_state,
+                self._file.ra_pages,
+                inode.size_pages,
+            )
+        return bytes(inode.data[offset:end])
+
+    def store(self, offset: int, data: bytes) -> None:
+        """Write through the mapping (dirties pages, no extension)."""
+        if self.closed:
+            raise ValueError("access to unmapped MemoryMap")
+        inode = self._file.inode
+        if offset < 0 or offset + len(data) > inode.size:
+            raise ValueError("store outside the mapped extent")
+        inode.data[offset : offset + len(data)] = data
+        if data:
+            first_page = offset // PAGE_SIZE
+            last_page = (offset + len(data) - 1) // PAGE_SIZE
+            for page in range(first_page, last_page + 1):
+                self._fs.cache.write_page(inode.ino, page)
+
+    def unmap(self) -> None:
+        self.closed = True
+
+
+class SimFS:
+    """The simulated filesystem: one device, one page cache, many files."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        block: BlockLayer,
+        cache: PageCache,
+        tracepoints: TracepointRegistry,
+    ):
+        self.clock = clock
+        self.block = block
+        self.cache = cache
+        self.tracepoints = tracepoints
+        self._inodes: Dict[str, Inode] = {}
+        self._next_ino = 1
+
+    # ------------------------------------------------------------------
+    # Namespace
+    # ------------------------------------------------------------------
+
+    def create(self, name: str) -> Inode:
+        if name in self._inodes:
+            raise FileExistsError(name)
+        inode = Inode(ino=self._next_ino, name=name)
+        self._next_ino += 1
+        self._inodes[name] = inode
+        return inode
+
+    def open(self, name: str, create: bool = False) -> File:
+        inode = self._inodes.get(name)
+        if inode is None:
+            if not create:
+                raise FileNotFoundError(name)
+            inode = self.create(name)
+        return File(inode, self)
+
+    def exists(self, name: str) -> bool:
+        return name in self._inodes
+
+    def unlink(self, name: str) -> None:
+        inode = self._inodes.pop(name, None)
+        if inode is None:
+            raise FileNotFoundError(name)
+        self.cache.invalidate(inode.ino)
+
+    def list_files(self):
+        return sorted(self._inodes)
+
+    def stat_size(self, name: str) -> int:
+        inode = self._inodes.get(name)
+        if inode is None:
+            raise FileNotFoundError(name)
+        return inode.size
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+
+    def read(self, file: File, offset: int, length: int) -> bytes:
+        """Byte-range read through the page cache (charges sim time)."""
+        self._check_open(file)
+        if offset < 0 or length < 0:
+            raise ValueError("offset and length must be non-negative")
+        inode = file.inode
+        end = min(offset + length, inode.size)
+        if end <= offset:
+            return b""
+        first_page = offset // PAGE_SIZE
+        last_page = (end - 1) // PAGE_SIZE
+        for page in range(first_page, last_page + 1):
+            self.cache.read_page(
+                inode.ino, page, file.ra_state, file.ra_pages, inode.size_pages
+            )
+        file.pos = end
+        return bytes(inode.data[offset:end])
+
+    def read_sequential(self, file: File, length: int) -> bytes:
+        """Read from the current position (the streaming-scan path)."""
+        data = self.read(file, file.pos, length)
+        return data
+
+    def write(self, file: File, offset: int, data: bytes) -> int:
+        """Byte-range write: extend the inode, dirty the pages."""
+        self._check_open(file)
+        if offset < 0:
+            raise ValueError("offset must be non-negative")
+        inode = file.inode
+        end = offset + len(data)
+        if end > inode.size:
+            inode.data.extend(b"\x00" * (end - inode.size))
+        inode.data[offset:end] = data
+        if data:
+            first_page = offset // PAGE_SIZE
+            last_page = (end - 1) // PAGE_SIZE
+            for page in range(first_page, last_page + 1):
+                self.cache.write_page(inode.ino, page)
+        file.pos = end
+        return len(data)
+
+    def append(self, file: File, data: bytes) -> int:
+        return self.write(file, file.inode.size, data)
+
+    def mmap(self, file: File) -> MemoryMap:
+        """Map an open file (see :class:`MemoryMap`)."""
+        self._check_open(file)
+        return MemoryMap(file, self)
+
+    def fsync(self, file: File) -> None:
+        """Flush dirty pages and wait for the device to drain."""
+        self._check_open(file)
+        self.cache.sync()
+
+    def close(self, file: File) -> None:
+        file.closed = True
+
+    @staticmethod
+    def _check_open(file: File) -> None:
+        if file.closed:
+            raise ValueError(f"I/O on closed file {file.inode.name!r}")

@@ -1,0 +1,81 @@
+"""Atomic primitives used by the lock-free data structures.
+
+Kernel KML uses CPU atomics; in CPython the GIL already makes single
+bytecode reads/writes atomic, but we wrap them behind the same API the
+kernel code would use so the algorithms read identically and so the
+semantics (sequentially consistent read-modify-write) are explicit and
+testable under real threads.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+__all__ = ["AtomicInt", "AtomicFlag"]
+
+
+class AtomicInt:
+    """A 64-bit-style atomic integer: load/store/add/sub/CAS."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, value: int = 0):
+        self._value = int(value)
+        self._lock = threading.Lock()
+
+    def load(self) -> int:
+        return self._value
+
+    def store(self, value: int) -> None:
+        with self._lock:
+            self._value = int(value)
+
+    def fetch_add(self, delta: int = 1) -> int:
+        """Atomically add; returns the *previous* value."""
+        with self._lock:
+            old = self._value
+            self._value = old + delta
+            return old
+
+    def fetch_sub(self, delta: int = 1) -> int:
+        return self.fetch_add(-delta)
+
+    def add_fetch(self, delta: int = 1) -> int:
+        """Atomically add; returns the *new* value."""
+        return self.fetch_add(delta) + delta
+
+    def compare_exchange(self, expected: int, desired: int) -> bool:
+        """CAS: set to ``desired`` iff currently ``expected``."""
+        with self._lock:
+            if self._value == expected:
+                self._value = int(desired)
+                return True
+            return False
+
+    def __repr__(self) -> str:
+        return f"AtomicInt({self._value})"
+
+
+class AtomicFlag:
+    """A test-and-set flag (kernel ``atomic_flag`` equivalent)."""
+
+    __slots__ = ("_flag", "_lock")
+
+    def __init__(self, value: bool = False):
+        self._flag = bool(value)
+        self._lock = threading.Lock()
+
+    def test_and_set(self) -> bool:
+        """Set the flag; returns the previous value."""
+        with self._lock:
+            old = self._flag
+            self._flag = True
+            return old
+
+    def clear(self) -> None:
+        with self._lock:
+            self._flag = False
+
+    def is_set(self) -> bool:
+        return self._flag

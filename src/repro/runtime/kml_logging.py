@@ -1,0 +1,74 @@
+"""Leveled logging behind the portability layer.
+
+Kernel KML logs through ``printk``; user-space KML through stdio.  The
+development API hides that difference.  Here the sink is pluggable so
+tests can capture log traffic, and the default sink buffers in memory
+(printing from a simulated kernel would be noise).
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["LogLevel", "KmlLogger"]
+
+
+class LogLevel(enum.IntEnum):
+    DEBUG = 0
+    INFO = 1
+    WARN = 2
+    ERR = 3
+
+
+class KmlLogger:
+    """Thread-safe logger with a minimum level and a pluggable sink."""
+
+    def __init__(
+        self,
+        level: LogLevel = LogLevel.INFO,
+        sink: Optional[Callable[[LogLevel, str], None]] = None,
+        capacity: int = 10_000,
+    ):
+        self.level = level
+        self._sink = sink
+        self._records: List[Tuple[float, LogLevel, str]] = []
+        self._capacity = capacity
+        self._lock = threading.Lock()
+
+    def log(self, level: LogLevel, message: str) -> None:
+        if level < self.level:
+            return
+        with self._lock:
+            if len(self._records) >= self._capacity:
+                # Oldest records are discarded first (ring semantics).
+                self._records.pop(0)
+            self._records.append((time.time(), level, message))
+        if self._sink is not None:
+            self._sink(level, message)
+
+    def debug(self, message: str) -> None:
+        self.log(LogLevel.DEBUG, message)
+
+    def info(self, message: str) -> None:
+        self.log(LogLevel.INFO, message)
+
+    def warn(self, message: str) -> None:
+        self.log(LogLevel.WARN, message)
+
+    def err(self, message: str) -> None:
+        self.log(LogLevel.ERR, message)
+
+    def records(self, level: Optional[LogLevel] = None):
+        """Snapshot of buffered records, optionally filtered by level."""
+        with self._lock:
+            snapshot = list(self._records)
+        if level is None:
+            return snapshot
+        return [r for r in snapshot if r[1] == level]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()

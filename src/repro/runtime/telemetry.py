@@ -1,0 +1,121 @@
+"""KML health telemetry: one snapshot of the whole pipeline's counters.
+
+Kernel operators need to see, at a glance, whether a deployed KML
+application is healthy: is the buffer dropping samples, is the trainer
+keeping up, how much memory is reserved, are tracepoints firing.  This
+aggregates whichever components are registered into a plain dict (for
+programmatic checks) and a formatted report (for logs).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from .circular_buffer import CircularBuffer
+from .memory import MemoryAccountant
+from .training_thread import AsyncTrainer
+
+__all__ = ["KmlTelemetry"]
+
+
+class KmlTelemetry:
+    """Aggregates counters from the runtime components of one KML app."""
+
+    def __init__(
+        self,
+        buffer: Optional[CircularBuffer] = None,
+        trainer: Optional[AsyncTrainer] = None,
+        memory: Optional[MemoryAccountant] = None,
+        tracepoints=None,  # TracepointRegistry (duck-typed: optional dep)
+    ):
+        self.buffer = buffer
+        self.trainer = trainer
+        self.memory = memory
+        self.tracepoints = tracepoints
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Point-in-time counters of every registered component."""
+        snap: Dict[str, Any] = {}
+        if self.buffer is not None:
+            pushed = self.buffer.pushed
+            dropped = self.buffer.dropped
+            attempts = pushed + dropped
+            snap["buffer"] = {
+                "capacity": self.buffer.capacity,
+                "occupancy": len(self.buffer),
+                "pushed": pushed,
+                "popped": self.buffer.popped,
+                "dropped": dropped,
+                "drop_rate": dropped / attempts if attempts else 0.0,
+            }
+        if self.trainer is not None:
+            snap["trainer"] = {
+                "running": self.trainer.running,
+                "mode": self.trainer.mode.value,
+                "samples_seen": self.trainer.samples_seen,
+                "batches_trained": self.trainer.batches_trained,
+            }
+        if self.memory is not None:
+            snap["memory"] = self.memory.stats()
+            snap["memory"]["reservation"] = self.memory.reservation
+        if self.tracepoints is not None:
+            snap["tracepoints"] = {
+                "total": self.tracepoints.total_hits,
+                "by_name": dict(self.tracepoints.hit_counts),
+                "subscriber_errors": self.tracepoints.subscriber_errors,
+            }
+        return snap
+
+    # ------------------------------------------------------------------
+
+    def healthy(self, max_drop_rate: float = 0.01) -> bool:
+        """True when no component shows a distress signal."""
+        snap = self.snapshot()
+        buffer = snap.get("buffer")
+        if buffer is not None and buffer["drop_rate"] > max_drop_rate:
+            return False
+        memory = snap.get("memory")
+        if memory is not None and memory["failed_allocations"] > 0:
+            return False
+        tracepoints = snap.get("tracepoints")
+        if tracepoints is not None and tracepoints["subscriber_errors"] > 0:
+            return False
+        return True
+
+    def format_report(self) -> str:
+        """Multi-line human-readable report."""
+        snap = self.snapshot()
+        lines = ["KML telemetry:"]
+        buffer = snap.get("buffer")
+        if buffer is not None:
+            lines.append(
+                f"  buffer   {buffer['occupancy']}/{buffer['capacity']} used, "
+                f"{buffer['pushed']} pushed, {buffer['dropped']} dropped "
+                f"({buffer['drop_rate'] * 100:.2f}%)"
+            )
+        trainer = snap.get("trainer")
+        if trainer is not None:
+            state = "running" if trainer["running"] else "stopped"
+            lines.append(
+                f"  trainer  {state} ({trainer['mode']}), "
+                f"{trainer['samples_seen']} samples, "
+                f"{trainer['batches_trained']} batches"
+            )
+        memory = snap.get("memory")
+        if memory is not None:
+            reservation = memory["reservation"]
+            limit = f"/{reservation}" if reservation is not None else ""
+            lines.append(
+                f"  memory   {memory['in_use']}{limit} B in use "
+                f"(peak {memory['peak']} B, "
+                f"{memory['failed_allocations']} failed allocations)"
+            )
+        tracepoints = snap.get("tracepoints")
+        if tracepoints is not None:
+            lines.append(
+                f"  traces   {tracepoints['total']} events, "
+                f"{tracepoints['subscriber_errors']} hook errors"
+            )
+        if len(lines) == 1:
+            lines.append("  (no components registered)")
+        return "\n".join(lines)

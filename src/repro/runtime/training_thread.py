@@ -1,0 +1,148 @@
+"""Asynchronous training thread: normalization + training off the I/O path.
+
+Data normalization is computation-heavy and needs the FPU, so KML
+offloads it -- together with training -- to one asynchronous kernel
+thread created at model-initialization time; the only thing users
+supply is a pointer to the model's training function (section 3.2).
+The prototype supports exactly one trainer thread because chain graphs
+are processed serially.
+
+:class:`AsyncTrainer` is that thread.  It drains the circular buffer,
+runs the user's ``train_fn`` on each batch, and can be switched between
+TRAINING and INFERENCE modes at runtime ("users can configure when KML
+switches between training and inferencing").
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from typing import Any, Callable, List, Optional
+
+from .circular_buffer import CircularBuffer
+
+__all__ = ["Mode", "AsyncTrainer"]
+
+
+class Mode(enum.Enum):
+    """Operating mode of the KML engine."""
+
+    TRAINING = "training"
+    INFERENCE = "inference"
+
+
+class AsyncTrainer:
+    """One background thread consuming samples and invoking ``train_fn``.
+
+    Parameters
+    ----------
+    buffer:
+        The SPSC ring the data-collection hooks push into.
+    train_fn:
+        Called with a list of samples (the drained batch) while in
+        TRAINING mode.  Exceptions are captured, counted, and re-raised
+        on :meth:`stop` so silent failures cannot occur.
+    normalize_fn:
+        Optional pre-processing applied to each drained batch in *both*
+        modes (feature extraction happens even when only inferencing).
+    poll_interval:
+        Sleep between empty polls, seconds.
+    """
+
+    def __init__(
+        self,
+        buffer: CircularBuffer,
+        train_fn: Callable[[List[Any]], None],
+        normalize_fn: Optional[Callable[[List[Any]], List[Any]]] = None,
+        poll_interval: float = 0.001,
+        batch_size: int = 64,
+    ):
+        if poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.buffer = buffer
+        self.train_fn = train_fn
+        self.normalize_fn = normalize_fn
+        self.poll_interval = poll_interval
+        self.batch_size = batch_size
+        self._mode = Mode.TRAINING
+        self._mode_lock = threading.Lock()
+        self._stop_event = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._error: Optional[BaseException] = None
+        self.batches_trained = 0
+        self.samples_seen = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def mode(self) -> Mode:
+        return self._mode
+
+    def set_mode(self, mode: Mode) -> None:
+        """Switch between training and inference at runtime."""
+        with self._mode_lock:
+            self._mode = mode
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> "AsyncTrainer":
+        if self.running:
+            raise RuntimeError("trainer thread already running")
+        self._stop_event.clear()
+        self._error = None
+        self._thread = threading.Thread(
+            target=self._run, name="kml-trainer", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        try:
+            while not self._stop_event.is_set():
+                batch = self.buffer.drain(self.batch_size)
+                if not batch:
+                    time.sleep(self.poll_interval)
+                    continue
+                self._process(batch)
+            # Final drain so no accepted sample is silently discarded.
+            while True:
+                batch = self.buffer.drain(self.batch_size)
+                if not batch:
+                    break
+                self._process(batch)
+        except BaseException as exc:  # surfaced on stop()
+            self._error = exc
+
+    def _process(self, batch: List[Any]) -> None:
+        if self.normalize_fn is not None:
+            batch = self.normalize_fn(batch)
+        self.samples_seen += len(batch)
+        if self._mode is Mode.TRAINING:
+            self.train_fn(batch)
+            self.batches_trained += 1
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Signal shutdown, join, and re-raise any captured error."""
+        if self._thread is None:
+            return
+        self._stop_event.set()
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise RuntimeError("trainer thread failed to stop in time")
+        self._thread = None
+        if self._error is not None:
+            error, self._error = self._error, None
+            raise error
+
+    def __enter__(self) -> "AsyncTrainer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,59 @@
+"""Benchmark workloads: db_bench equivalents plus mixgraph."""
+
+from .base import Workload, make_key, make_value, KEY_FORMAT
+from .generators import (
+    EVAL_WORKLOADS,
+    FillRandom,
+    FillSeq,
+    ReadRandom,
+    ReadRandomWriteRandom,
+    ReadReverse,
+    ReadSeq,
+    TRAINING_WORKLOADS,
+    UpdateRandom,
+    populate_db,
+)
+from .mixgraph import MixGraph
+from .runner import DEFAULT_CPU_OP_S, RunResult, run_workload
+from .zipf import ZipfGenerator
+
+__all__ = [
+    "Workload",
+    "make_key",
+    "make_value",
+    "KEY_FORMAT",
+    "EVAL_WORKLOADS",
+    "TRAINING_WORKLOADS",
+    "FillRandom",
+    "FillSeq",
+    "ReadRandom",
+    "ReadRandomWriteRandom",
+    "ReadReverse",
+    "ReadSeq",
+    "UpdateRandom",
+    "populate_db",
+    "MixGraph",
+    "DEFAULT_CPU_OP_S",
+    "RunResult",
+    "run_workload",
+    "ZipfGenerator",
+]
+
+
+def workload_by_name(name: str, num_keys: int, value_size: int = 100) -> Workload:
+    """Factory for the paper's six evaluation workloads."""
+    classes = {
+        "readseq": ReadSeq,
+        "readrandom": ReadRandom,
+        "readreverse": ReadReverse,
+        "readrandomwriterandom": ReadRandomWriteRandom,
+        "updaterandom": UpdateRandom,
+        "mixgraph": MixGraph,
+        "fillseq": FillSeq,
+        "fillrandom": FillRandom,
+    }
+    try:
+        cls = classes[name]
+    except KeyError:
+        raise ValueError(f"unknown workload {name!r}") from None
+    return cls(num_keys, value_size)

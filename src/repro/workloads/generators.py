@@ -1,0 +1,167 @@
+"""db_bench-equivalent workloads (the paper's six benchmarks).
+
+The paper trains on four workloads -- readseq, readrandom, readreverse,
+readrandomwriterandom -- and additionally evaluates on updaterandom and
+mixgraph (mixgraph lives in its own module).  Each class here mirrors
+the semantics of the RocksDB db_bench benchmark of the same name.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..minikv.db import MiniKV
+from .base import Workload, make_key, make_value
+
+__all__ = [
+    "ReadSeq",
+    "ReadRandom",
+    "ReadReverse",
+    "ReadRandomWriteRandom",
+    "UpdateRandom",
+    "FillSeq",
+    "FillRandom",
+    "populate_db",
+    "TRAINING_WORKLOADS",
+    "EVAL_WORKLOADS",
+]
+
+
+def populate_db(
+    db: MiniKV,
+    num_keys: int,
+    value_size: int,
+    rng: np.random.Generator,
+) -> None:
+    """fillseq: load ``num_keys`` sequential keys, then flush."""
+    for i in range(num_keys):
+        db.put(make_key(i), make_value(rng, value_size))
+    db.close()
+
+
+class FillSeq(Workload):
+    """Sequential fill (used by tests; the benches use populate_db)."""
+
+    name = "fillseq"
+
+    def bind(self, db, rng):
+        super().bind(db, rng)
+        self._next = 0
+
+    def step(self) -> None:
+        self.db.put(make_key(self._next), make_value(self.rng, self.value_size))
+        self._next = (self._next + 1) % self.num_keys
+
+
+class FillRandom(Workload):
+    """Random-key puts (db_bench fillrandom): the write-path stressor."""
+
+    name = "fillrandom"
+
+    def step(self) -> None:
+        index = int(self.rng.integers(0, self.num_keys))
+        self.db.put(make_key(index), make_value(self.rng, self.value_size))
+
+
+class ReadSeq(Workload):
+    """Forward iteration over the whole DB, one entry per op."""
+
+    name = "readseq"
+
+    def bind(self, db, rng):
+        super().bind(db, rng)
+        self._iter: Optional[Iterator[Tuple[bytes, bytes]]] = None
+
+    def step(self) -> None:
+        if self._iter is None:
+            self._iter = self.db.scan()
+        try:
+            next(self._iter)
+        except StopIteration:
+            self._iter = self.db.scan()
+            next(self._iter)
+
+    def reset(self) -> None:
+        self._iter = None
+
+
+class ReadReverse(Workload):
+    """Backward iteration over the whole DB, one entry per op."""
+
+    name = "readreverse"
+
+    def bind(self, db, rng):
+        super().bind(db, rng)
+        self._iter: Optional[Iterator[Tuple[bytes, bytes]]] = None
+
+    def step(self) -> None:
+        if self._iter is None:
+            self._iter = self.db.scan_reverse()
+        try:
+            next(self._iter)
+        except StopIteration:
+            self._iter = self.db.scan_reverse()
+            next(self._iter)
+
+    def reset(self) -> None:
+        self._iter = None
+
+
+class ReadRandom(Workload):
+    """Uniform-random point gets over the key space."""
+
+    name = "readrandom"
+
+    def step(self) -> None:
+        key = make_key(int(self.rng.integers(0, self.num_keys)))
+        self.db.get(key)
+
+
+class ReadRandomWriteRandom(Workload):
+    """Interleaved random reads and writes (db_bench default: 90% reads)."""
+
+    name = "readrandomwriterandom"
+
+    def __init__(self, num_keys: int, value_size: int = 100, read_fraction: float = 0.9):
+        super().__init__(num_keys, value_size)
+        if not 0.0 <= read_fraction <= 1.0:
+            raise ValueError("read_fraction must be in [0, 1]")
+        self.read_fraction = read_fraction
+
+    def step(self) -> None:
+        index = int(self.rng.integers(0, self.num_keys))
+        key = make_key(index)
+        if self.rng.random() < self.read_fraction:
+            self.db.get(key)
+        else:
+            self.db.put(key, make_value(self.rng, self.value_size))
+
+
+class UpdateRandom(Workload):
+    """Read-modify-write of random keys (never seen in training)."""
+
+    name = "updaterandom"
+
+    def step(self) -> None:
+        index = int(self.rng.integers(0, self.num_keys))
+        key = make_key(index)
+        value = self.db.get(key) or b""
+        # "Modify": rewrite with fresh bytes of the same length.
+        size = len(value) or self.value_size
+        self.db.put(key, make_value(self.rng, size))
+
+
+#: The four the paper trains on (class label = position in this tuple).
+TRAINING_WORKLOADS = ("readseq", "readrandom", "readreverse", "readrandomwriterandom")
+
+#: The six of Table 2.
+EVAL_WORKLOADS = (
+    "readseq",
+    "readrandom",
+    "readreverse",
+    "readrandomwriterandom",
+    "updaterandom",
+    "mixgraph",
+)

@@ -1,0 +1,53 @@
+"""Writeback policy configurations (the knobs the tuner actuates).
+
+Linux exposes the same pair as ``vm.dirty_ratio`` (how much dirty data
+may accumulate) and the block layer's request merging (how large
+writeback I/Os become); here they are ``dirty_threshold`` and
+``writeback_batch`` on the simulated page cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..os_sim.stack import StorageStack
+
+__all__ = ["WritebackConfig", "DEFAULT_CONFIGS"]
+
+
+@dataclass(frozen=True)
+class WritebackConfig:
+    """One (dirty_threshold, writeback_batch) policy point."""
+
+    dirty_threshold: float
+    writeback_batch: int
+
+    def __post_init__(self):
+        if not 0.0 < self.dirty_threshold <= 1.0:
+            raise ValueError("dirty_threshold must be in (0, 1]")
+        if self.writeback_batch < 1:
+            raise ValueError("writeback_batch must be >= 1")
+
+    def apply(self, stack: StorageStack) -> None:
+        """Actuate this policy on a running stack."""
+        stack.cache.dirty_threshold = self.dirty_threshold
+        stack.cache.writeback_batch = self.writeback_batch
+
+    @classmethod
+    def read(cls, stack: StorageStack) -> "WritebackConfig":
+        return cls(stack.cache.dirty_threshold, stack.cache.writeback_batch)
+
+    def __str__(self) -> str:
+        return f"thr={self.dirty_threshold:.2f}/batch={self.writeback_batch}"
+
+
+#: The arm set for sweeps and the bandit tuner: unbatched-and-eager
+#: through heavily-batched-and-lazy.
+DEFAULT_CONFIGS: Tuple[WritebackConfig, ...] = (
+    WritebackConfig(0.05, 1),
+    WritebackConfig(0.10, 8),
+    WritebackConfig(0.10, 64),
+    WritebackConfig(0.40, 64),
+    WritebackConfig(0.40, 256),
+)

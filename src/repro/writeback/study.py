@@ -1,0 +1,66 @@
+"""Empirical study of writeback configurations (mirrors the readahead
+"studying the problem" methodology on the new knob)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..minikv.db import DBOptions, MiniKV
+from ..os_sim.stack import make_stack
+from ..workloads import populate_db, run_workload, workload_by_name
+from .configs import DEFAULT_CONFIGS, WritebackConfig
+
+__all__ = ["WritebackSweep", "sweep_writeback_configs"]
+
+
+@dataclass
+class WritebackSweep:
+    """Throughput per configuration for one (device, workload)."""
+
+    device: str
+    workload: str
+    throughput: Dict[WritebackConfig, float] = field(default_factory=dict)
+
+    def best(self) -> WritebackConfig:
+        return max(self.throughput, key=lambda c: self.throughput[c])
+
+    def rows(self):
+        return sorted(
+            ((str(c), t) for c, t in self.throughput.items()),
+            key=lambda r: -r[1],
+        )
+
+
+def sweep_writeback_configs(
+    device: str,
+    workload_name: str,
+    configs: Sequence[WritebackConfig] = DEFAULT_CONFIGS,
+    num_keys: int = 40_000,
+    value_size: int = 400,
+    cache_pages: int = 512,
+    memtable_bytes: int = 1 << 20,
+    ops_per_point: int = 4000,
+    seed: int = 42,
+) -> WritebackSweep:
+    """Measure a write-heavy workload under each writeback policy.
+
+    A deliberately small memtable keeps flush/writeback traffic inside
+    the measurement window -- the opposite choice from the readahead
+    benches, because here the write path *is* the subject.
+    """
+    sweep = WritebackSweep(device=device, workload=workload_name)
+    for config in configs:
+        stack = make_stack(device, cache_pages=cache_pages)
+        db = MiniKV(stack, DBOptions(memtable_bytes=memtable_bytes))
+        populate_db(db, num_keys, value_size, np.random.default_rng(seed))
+        config.apply(stack)
+        stack.drop_caches()
+        workload = workload_by_name(workload_name, num_keys, value_size)
+        result = run_workload(
+            stack, db, workload, ops_per_point, np.random.default_rng(seed + 1)
+        )
+        sweep.throughput[config] = result.throughput
+    return sweep

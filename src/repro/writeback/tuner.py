@@ -1,0 +1,84 @@
+"""Feedback-driven writeback tuner (same UCB1 scheme as the readahead
+RL extension, over policy configurations instead of readahead sizes)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..os_sim.stack import StorageStack
+from .configs import DEFAULT_CONFIGS, WritebackConfig
+
+__all__ = ["WritebackBanditTuner"]
+
+
+@dataclass
+class _ArmStats:
+    pulls: int = 0
+    total_reward: float = 0.0
+
+    @property
+    def mean(self) -> float:
+        return self.total_reward / self.pulls if self.pulls else 0.0
+
+
+class WritebackBanditTuner:
+    """UCB1 over writeback configurations with throughput rewards."""
+
+    def __init__(
+        self,
+        stack: StorageStack,
+        configs: Sequence[WritebackConfig] = DEFAULT_CONFIGS,
+        exploration: float = 1.2,
+    ):
+        if len(configs) < 2:
+            raise ValueError("need at least two configurations")
+        if exploration <= 0:
+            raise ValueError("exploration must be positive")
+        self.stack = stack
+        self.configs = tuple(configs)
+        self.exploration = exploration
+        self._stats: Dict[WritebackConfig, _ArmStats] = {
+            c: _ArmStats() for c in self.configs
+        }
+        self._active: Optional[WritebackConfig] = None
+        self._best_rate = 1e-9
+        self.total_pulls = 0
+        self.history: List[Tuple[float, WritebackConfig]] = []
+
+    def _select(self) -> WritebackConfig:
+        for config in self.configs:
+            if self._stats[config].pulls == 0:
+                return config
+        log_total = math.log(self.total_pulls)
+        best, best_score = self.configs[0], -1.0
+        for config in self.configs:
+            stats = self._stats[config]
+            score = stats.mean + self.exploration * math.sqrt(
+                log_total / stats.pulls
+            )
+            if score > best_score:
+                best, best_score = config, score
+        return best
+
+    def on_tick(self, sim_time: float, rate: float) -> WritebackConfig:
+        """Credit the closing window, pick and apply the next config."""
+        if self._active is not None:
+            self._best_rate = max(self._best_rate, rate)
+            stats = self._stats[self._active]
+            stats.pulls += 1
+            stats.total_reward += rate / self._best_rate
+            self.total_pulls += 1
+        config = self._select()
+        self._active = config
+        config.apply(self.stack)
+        self.history.append((sim_time, config))
+        return config
+
+    @property
+    def best_config(self) -> WritebackConfig:
+        return max(self.configs, key=lambda c: self._stats[c].mean)
+
+    def config_means(self) -> Dict[WritebackConfig, float]:
+        return {c: self._stats[c].mean for c in self.configs}

@@ -1,0 +1,223 @@
+"""Integration tests: the full pipeline at miniature scale.
+
+These run the real closed loop -- collection, training, deployment,
+agent -- on a deliberately tiny DB so the whole suite stays fast.  The
+full-scale versions (matching the paper's numbers) live in benchmarks/.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kml import load_model, save_model
+from repro.kml.metrics import k_fold_cross_validate
+from repro.minikv import DBOptions, MiniKV
+from repro.os_sim import make_stack
+from repro.readahead import (
+    CollectionConfig,
+    ReadaheadAgent,
+    ReadaheadClassifier,
+    TuningTable,
+    collect_training_data,
+    sweep_best_readahead,
+)
+from repro.runtime import AsyncTrainer, CircularBuffer, Mode
+from repro.workloads import populate_db, run_workload, workload_by_name
+
+TINY = dict(num_keys=6000, value_size=200, cache_pages=128)
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    config = CollectionConfig(
+        ra_values=(8, 64, 256),
+        windows_per_value=2,
+        ra_passes=2,
+        **TINY,
+    )
+    return collect_training_data(config)
+
+
+@pytest.fixture(scope="module")
+def tiny_classifier(tiny_dataset):
+    clf = ReadaheadClassifier(rng=np.random.default_rng(0), epochs=250)
+    return clf.fit(tiny_dataset.x, tiny_dataset.y)
+
+
+class TestCollection:
+    def test_dataset_balanced_and_labeled(self, tiny_dataset):
+        assert len(tiny_dataset) >= 30
+        counts = tiny_dataset.class_counts()
+        assert counts.min() > 0
+        assert tiny_dataset.x.shape[1] == 5
+
+    def test_features_finite(self, tiny_dataset):
+        assert np.all(np.isfinite(tiny_dataset.x))
+
+    def test_merge(self, tiny_dataset):
+        merged = tiny_dataset.merge(tiny_dataset)
+        assert len(merged) == 2 * len(tiny_dataset)
+
+
+class TestTrainingPipeline:
+    def test_classifier_beats_chance_out_of_fold(self, tiny_dataset):
+        result = k_fold_cross_validate(
+            lambda: ReadaheadClassifier(rng=np.random.default_rng(1), epochs=250),
+            tiny_dataset.x,
+            tiny_dataset.y,
+            k=4,
+            rng=np.random.default_rng(2),
+        )
+        assert result.mean_accuracy > 0.6  # chance = 0.25
+
+    def test_save_deploy_load_inference_identical(self, tiny_classifier, tmp_path):
+        deployable = tiny_classifier.to_deployable()
+        path = str(tmp_path / "deploy.kml")
+        save_model(deployable, path)
+        loaded = load_model(path)
+        probe = np.array([[5000.0, 900.0, 800.0, 50.0, 128.0]])
+        np.testing.assert_array_equal(
+            loaded.predict_classes(probe), deployable.predict_classes(probe)
+        )
+
+
+class TestSweep:
+    def test_sweep_produces_full_table(self):
+        tuning, result = sweep_best_readahead(
+            "nvme",
+            ("readrandom",),
+            ra_values=(8, 128),
+            num_keys=4000,
+            value_size=200,
+            cache_pages=128,
+            ops_per_point=400,
+        )
+        assert set(result.throughput["readrandom"]) == {8, 128}
+        assert tuning.best_ra("nvme", "readrandom") in (8, 128)
+
+    def test_random_workload_prefers_small_ra(self):
+        _, result = sweep_best_readahead(
+            "ssd",
+            ("readrandom",),
+            ra_values=(8, 512),
+            num_keys=6000,
+            value_size=200,
+            cache_pages=128,
+            ops_per_point=800,
+        )
+        curve = result.throughput["readrandom"]
+        assert curve[8] > curve[512]
+
+
+class TestClosedLoop:
+    def test_agent_improves_random_workload(self, tiny_classifier):
+        tuning = TuningTable()
+        for workload, ra in (
+            ("readseq", 64),
+            ("readrandom", 8),
+            ("readreverse", 64),
+            ("readrandomwriterandom", 8),
+        ):
+            tuning.set("nvme", workload, ra)
+        deployable = tiny_classifier.to_deployable()
+
+        def run(use_agent):
+            stack = make_stack("nvme", ra_pages=128, cache_pages=TINY["cache_pages"])
+            db = MiniKV(stack, DBOptions(memtable_bytes=1 << 20))
+            populate_db(db, TINY["num_keys"], TINY["value_size"],
+                        np.random.default_rng(42))
+            stack.set_readahead(128)
+            stack.drop_caches()
+            agent = (
+                ReadaheadAgent(stack, deployable, tuning, "nvme", smoothing=3)
+                if use_agent
+                else None
+            )
+            workload = workload_by_name("readrandom", TINY["num_keys"],
+                                        TINY["value_size"])
+            result = run_workload(
+                stack, db, workload, 10**9, np.random.default_rng(1),
+                tick_interval=0.1,
+                on_tick=agent.on_tick if agent else None,
+                max_sim_seconds=0.8,
+            )
+            return result.throughput
+
+        vanilla = run(False)
+        tuned = run(True)
+        assert tuned > vanilla * 1.1  # the loop must actually help
+
+    def test_agent_with_async_trainer_in_the_loop(self, tiny_classifier, tiny_dataset):
+        """Kernel-training mode: samples flow through the circular
+        buffer to the async trainer while the agent inferences."""
+        tuning = TuningTable()
+        for workload in ("readseq", "readrandom", "readreverse",
+                         "readrandomwriterandom"):
+            tuning.set("nvme", workload, 32)
+        stack = make_stack("nvme", ra_pages=128, cache_pages=TINY["cache_pages"])
+        db = MiniKV(stack, DBOptions(memtable_bytes=1 << 20))
+        populate_db(db, 3000, 200, np.random.default_rng(0))
+        stack.drop_caches()
+
+        buffer = CircularBuffer(256)
+        trained_batches = []
+        trainer = AsyncTrainer(buffer, train_fn=trained_batches.append)
+        agent = ReadaheadAgent(
+            stack,
+            tiny_classifier.to_deployable(),
+            tuning,
+            "nvme",
+            sample_buffer=buffer,
+        )
+        workload = workload_by_name("readrandom", 3000, 200)
+        with trainer:
+            run_workload(
+                stack, db, workload, 10**9, np.random.default_rng(1),
+                tick_interval=0.1, on_tick=agent.on_tick, max_sim_seconds=0.6,
+            )
+        assert trainer.samples_seen == len(agent.history)
+        assert sum(len(b) for b in trained_batches) == len(agent.history)
+
+
+class TestCrossDeviceGeneralization:
+    """Paper claim: trained on NVMe, the model still helps on the SSD
+    (different device, shifted feature distributions)."""
+
+    def test_nvme_trained_model_improves_ssd_workload(self, tiny_classifier):
+        tuning = TuningTable()
+        for device in ("nvme", "ssd"):
+            for workload, ra in (
+                ("readseq", 64),
+                ("readrandom", 8),
+                ("readreverse", 64),
+                ("readrandomwriterandom", 8),
+            ):
+                tuning.set(device, workload, ra)
+        deployable = tiny_classifier.to_deployable()
+
+        def run(use_agent):
+            stack = make_stack("ssd", ra_pages=128,
+                               cache_pages=TINY["cache_pages"])
+            db = MiniKV(stack, DBOptions(memtable_bytes=1 << 20))
+            populate_db(db, TINY["num_keys"], TINY["value_size"],
+                        np.random.default_rng(42))
+            stack.set_readahead(128)
+            stack.drop_caches()
+            agent = (
+                ReadaheadAgent(stack, deployable, tuning, "ssd", smoothing=3)
+                if use_agent
+                else None
+            )
+            workload = workload_by_name("readrandom", TINY["num_keys"],
+                                        TINY["value_size"])
+            result = run_workload(
+                stack, db, workload, 10**9, np.random.default_rng(1),
+                tick_interval=0.1,
+                on_tick=agent.on_tick if agent else None,
+                max_sim_seconds=1.0,
+            )
+            return result.throughput
+
+        vanilla = run(False)
+        tuned = run(True)
+        # Trained on NVMe features, deployed on SSD: must still win.
+        assert tuned > vanilla * 1.15

@@ -1,0 +1,166 @@
+"""Cross-module property-based tests (hypothesis).
+
+These complement the per-module suites with whole-subsystem invariants:
+model files survive arbitrary architectures, the LSM store matches a
+reference dict under arbitrary operation sequences, and the WAL replay
+reconstructs arbitrary histories.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kml import (
+    Dropout,
+    Linear,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Softmax,
+    Tanh,
+    load_model,
+    save_model,
+)
+from repro.minikv import DBOptions, MiniKV
+from repro.minikv.wal import WriteAheadLog
+from repro.os_sim import make_stack
+
+# ----------------------------------------------------------------------
+# Random model architectures round-trip through the file format
+# ----------------------------------------------------------------------
+
+_ACTIVATIONS = (Sigmoid, ReLU, Tanh, Softmax)
+
+
+@st.composite
+def architectures(draw):
+    """A random Sequential: widths plus interleaved stateless layers."""
+    depth = draw(st.integers(1, 4))
+    widths = draw(
+        st.lists(st.integers(1, 12), min_size=depth + 1, max_size=depth + 1)
+    )
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    model = Sequential(name="prop")
+    for i in range(depth):
+        model.add(Linear(widths[i], widths[i + 1], rng=rng))
+        kind = draw(st.integers(0, len(_ACTIVATIONS)))
+        if kind < len(_ACTIVATIONS):
+            model.add(_ACTIVATIONS[kind]())
+        if draw(st.booleans()):
+            model.add(Dropout(draw(st.floats(0.0, 0.9)), rng=rng))
+    return model, widths[0]
+
+
+class TestModelFileProperties:
+    @given(architectures())
+    @settings(max_examples=25, deadline=None)
+    def test_save_load_preserves_inference(self, arch):
+        model, in_features = arch
+        import tempfile, os
+
+        x = np.random.default_rng(0).normal(size=(4, in_features))
+        expected = model.predict(x).to_numpy()
+        path = os.path.join(tempfile.mkdtemp(), "m.kml")
+        save_model(model, path)
+        loaded = load_model(path)
+        np.testing.assert_array_equal(loaded.predict(x).to_numpy(), expected)
+        assert [l.kind for l in loaded.layers] == [l.kind for l in model.layers]
+
+
+# ----------------------------------------------------------------------
+# LSM store vs a reference dict under arbitrary op sequences
+# ----------------------------------------------------------------------
+
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["put", "delete", "flush"]),
+        st.binary(min_size=1, max_size=6),
+        st.binary(min_size=0, max_size=16),
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+
+class TestLSMProperties:
+    @given(_ops)
+    @settings(max_examples=40, deadline=None)
+    def test_db_equals_reference_dict(self, ops):
+        stack = make_stack("nvme", cache_pages=2048)
+        db = MiniKV(stack, DBOptions(memtable_bytes=1024))
+        reference = {}
+        for op, key, value in ops:
+            if op == "put":
+                db.put(key, value)
+                reference[key] = value
+            elif op == "delete":
+                db.delete(key)
+                reference.pop(key, None)
+            else:
+                db.flush()
+        assert dict(db.scan()) == reference
+        for key, value in reference.items():
+            assert db.get(key) == value
+
+    @given(_ops)
+    @settings(max_examples=20, deadline=None)
+    def test_recovery_equals_reference_dict(self, ops):
+        stack = make_stack("nvme", cache_pages=2048)
+        db = MiniKV(stack, DBOptions(memtable_bytes=1024))
+        reference = {}
+        for op, key, value in ops:
+            if op == "put":
+                db.put(key, value)
+                reference[key] = value
+            elif op == "delete":
+                db.delete(key)
+                reference.pop(key, None)
+            else:
+                db.flush()
+        # Crash (no close) and reopen on the same filesystem.
+        recovered = MiniKV(stack, DBOptions(memtable_bytes=1024))
+        assert dict(recovered.scan()) == reference
+
+
+# ----------------------------------------------------------------------
+# WAL replay reconstructs arbitrary histories
+# ----------------------------------------------------------------------
+
+
+class TestWALProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.binary(min_size=1, max_size=8),
+                st.one_of(st.none(), st.binary(min_size=0, max_size=20)),
+            ),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_replay_is_exact_history(self, records):
+        fs = make_stack("nvme", cache_pages=1024).fs
+        wal = WriteAheadLog(fs, "wal")
+        for key, value in records:
+            wal.append(key, value)
+        assert list(wal.replay()) == records
+
+
+class TestQuantizationProperties:
+    @given(architectures())
+    @settings(max_examples=15, deadline=None)
+    def test_quantized_model_bounded_deviation(self, arch):
+        from repro.kml import quantize_model
+
+        model, in_features = arch
+        model.eval()
+        x = np.random.default_rng(1).normal(size=(6, in_features))
+        reference = model.predict(x).to_numpy()
+        quantized = quantize_model(model, exclude=())
+        approx = quantized.predict(x, dtype="float32").to_numpy()
+        # Deviation is bounded relative to the output magnitude: int8
+        # round-off per layer, compounded through at most 4 layers.
+        scale = max(1.0, float(np.max(np.abs(reference))))
+        assert np.max(np.abs(reference - approx)) < 0.25 * scale

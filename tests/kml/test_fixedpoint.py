@@ -1,0 +1,99 @@
+"""Tests for Q16.16 fixed-point arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kml import fixedpoint as fx
+
+# Values that stay well inside the representable range under mul.
+small_reals = st.floats(min_value=-100.0, max_value=100.0)
+
+
+class TestConversion:
+    def test_round_trip_within_eps(self):
+        values = np.array([0.0, 1.0, -1.0, 0.5, 3.14159, -2.71828])
+        back = fx.from_fixed(fx.to_fixed(values))
+        assert np.abs(back - values).max() <= fx.FX_EPS
+
+    def test_saturation_positive(self):
+        raw = fx.to_fixed(1e9)
+        assert raw == fx.FX_MAX
+
+    def test_saturation_negative(self):
+        assert fx.to_fixed(-1e9) == fx.FX_MIN
+
+    def test_nan_maps_to_zero(self):
+        assert fx.to_fixed(float("nan")) == 0
+
+    def test_from_int(self):
+        assert fx.from_fixed(fx.fx_from_int(7)) == 7.0
+
+    @given(small_reals)
+    @settings(max_examples=200, deadline=None)
+    def test_property_round_trip(self, value):
+        back = float(fx.from_fixed(fx.to_fixed(value)))
+        assert abs(back - value) <= fx.FX_EPS
+
+
+class TestArithmetic:
+    def test_add(self):
+        a, b = fx.to_fixed(1.5), fx.to_fixed(2.25)
+        assert fx.from_fixed(fx.fx_add(a, b)) == 3.75
+
+    def test_add_saturates(self):
+        assert fx.fx_add(fx.FX_MAX, fx.to_fixed(1.0)) == fx.FX_MAX
+
+    def test_sub(self):
+        a, b = fx.to_fixed(1.0), fx.to_fixed(2.5)
+        assert fx.from_fixed(fx.fx_sub(a, b)) == -1.5
+
+    def test_neg_of_min_saturates(self):
+        assert fx.fx_neg(fx.FX_MIN) == fx.FX_MAX
+
+    def test_mul(self):
+        a, b = fx.to_fixed(3.0), fx.to_fixed(-2.5)
+        assert fx.from_fixed(fx.fx_mul(a, b)) == pytest.approx(-7.5, abs=1e-4)
+
+    def test_div(self):
+        a, b = fx.to_fixed(7.5), fx.to_fixed(2.5)
+        assert fx.from_fixed(fx.fx_div(a, b)) == pytest.approx(3.0, abs=1e-4)
+
+    def test_div_by_zero_saturates(self):
+        assert fx.fx_div(fx.to_fixed(1.0), 0) == fx.FX_MAX
+        assert fx.fx_div(fx.to_fixed(-1.0), 0) == fx.FX_MIN
+        assert fx.fx_div(0, 0) == 0
+
+    @given(small_reals, small_reals)
+    @settings(max_examples=200, deadline=None)
+    def test_property_mul_close_to_real(self, a, b):
+        got = float(fx.from_fixed(fx.fx_mul(fx.to_fixed(a), fx.to_fixed(b))))
+        assert got == pytest.approx(a * b, abs=0.01)
+
+    @given(small_reals, small_reals)
+    @settings(max_examples=200, deadline=None)
+    def test_property_add_commutes(self, a, b):
+        fa, fb = fx.to_fixed(a), fx.to_fixed(b)
+        assert fx.fx_add(fa, fb) == fx.fx_add(fb, fa)
+
+
+class TestMatmul:
+    def test_matches_float_matmul(self):
+        rng = np.random.default_rng(3)
+        a = rng.uniform(-2, 2, size=(4, 6))
+        b = rng.uniform(-2, 2, size=(6, 3))
+        got = fx.from_fixed(fx.fx_matmul(fx.to_fixed(a), fx.to_fixed(b)))
+        np.testing.assert_allclose(got, a @ b, atol=0.01)
+
+    def test_identity(self):
+        a = fx.to_fixed(np.array([[1.25, -2.5], [0.75, 3.0]]))
+        eye = fx.to_fixed(np.eye(2))
+        np.testing.assert_array_equal(fx.fx_matmul(a, eye), a)
+
+    def test_accumulation_precision(self):
+        # 1000 terms of 0.001 * 1.0: per-term shifting would lose bits.
+        a = fx.to_fixed(np.full((1, 1000), 0.001))
+        b = fx.to_fixed(np.ones((1000, 1)))
+        got = fx.from_fixed(fx.fx_matmul(a, b)).item()
+        assert got == pytest.approx(1.0, abs=0.02)

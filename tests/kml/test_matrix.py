@@ -1,0 +1,216 @@
+"""Tests for the Matrix type across all three element types."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.kml.matrix import DTYPES, Matrix, set_alloc_observer
+
+ALL_DTYPES = list(DTYPES)
+
+small_matrices = arrays(
+    np.float64,
+    shape=st.tuples(st.integers(1, 5), st.integers(1, 5)),
+    elements=st.floats(min_value=-50, max_value=50),
+)
+
+
+@pytest.fixture(params=ALL_DTYPES)
+def dtype(request):
+    return request.param
+
+
+class TestConstruction:
+    def test_from_nested_list(self, dtype):
+        m = Matrix([[1.0, 2.0], [3.0, 4.0]], dtype=dtype)
+        assert m.shape == (2, 2)
+        np.testing.assert_allclose(m.to_numpy(), [[1, 2], [3, 4]], atol=1e-4)
+
+    def test_1d_promotes_to_row(self, dtype):
+        m = Matrix([1.0, 2.0, 3.0], dtype=dtype)
+        assert m.shape == (1, 3)
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            Matrix(np.zeros((2, 2, 2)))
+
+    def test_bad_dtype_rejected(self):
+        with pytest.raises(ValueError, match="unsupported dtype"):
+            Matrix([[1.0]], dtype="int8")
+
+    def test_zeros_ones_full_eye(self, dtype):
+        assert Matrix.zeros(2, 3, dtype=dtype).to_numpy().sum() == 0
+        assert Matrix.ones(2, 3, dtype=dtype).to_numpy().sum() == 6
+        assert Matrix.full(2, 2, 2.5, dtype=dtype)[0, 0] == pytest.approx(2.5, abs=1e-4)
+        np.testing.assert_allclose(Matrix.eye(3, dtype=dtype).to_numpy(), np.eye(3))
+
+    def test_uniform_uses_rng(self, dtype):
+        rng = np.random.default_rng(0)
+        a = Matrix.uniform(3, 3, -1, 1, rng, dtype=dtype)
+        rng = np.random.default_rng(0)
+        b = Matrix.uniform(3, 3, -1, 1, rng, dtype=dtype)
+        assert a == b
+
+    def test_from_raw_rejects_wrong_dtype(self):
+        with pytest.raises(TypeError):
+            Matrix.from_raw(np.zeros((2, 2), dtype=np.float64), "float32")
+
+    def test_repr(self):
+        assert "float32" in repr(Matrix.zeros(1, 1))
+
+
+class TestArithmetic:
+    def test_add_sub(self, dtype):
+        a = Matrix([[1.0, 2.0]], dtype=dtype)
+        b = Matrix([[3.0, 5.0]], dtype=dtype)
+        np.testing.assert_allclose((a + b).to_numpy(), [[4, 7]], atol=1e-4)
+        np.testing.assert_allclose((b - a).to_numpy(), [[2, 3]], atol=1e-4)
+
+    def test_scalar_ops(self, dtype):
+        a = Matrix([[2.0, 4.0]], dtype=dtype)
+        np.testing.assert_allclose((a + 1).to_numpy(), [[3, 5]], atol=1e-4)
+        np.testing.assert_allclose((a * 0.5).to_numpy(), [[1, 2]], atol=1e-4)
+        np.testing.assert_allclose((2.0 * a).to_numpy(), [[4, 8]], atol=1e-4)
+
+    def test_hadamard(self, dtype):
+        a = Matrix([[1.0, 2.0], [3.0, 4.0]], dtype=dtype)
+        np.testing.assert_allclose((a * a).to_numpy(), [[1, 4], [9, 16]], atol=1e-3)
+
+    def test_neg(self, dtype):
+        a = Matrix([[1.5, -2.0]], dtype=dtype)
+        np.testing.assert_allclose((-a).to_numpy(), [[-1.5, 2.0]], atol=1e-4)
+
+    def test_div(self, dtype):
+        a = Matrix([[6.0, 9.0]], dtype=dtype)
+        b = Matrix([[2.0, 3.0]], dtype=dtype)
+        np.testing.assert_allclose((a / b).to_numpy(), [[3, 3]], atol=1e-3)
+
+    def test_matmul(self, dtype):
+        a = Matrix([[1.0, 2.0], [3.0, 4.0]], dtype=dtype)
+        b = Matrix([[5.0], [6.0]], dtype=dtype)
+        np.testing.assert_allclose((a @ b).to_numpy(), [[17], [39]], atol=1e-2)
+
+    def test_matmul_shape_error(self, dtype):
+        with pytest.raises(ValueError, match="matmul"):
+            Matrix.zeros(2, 3, dtype=dtype) @ Matrix.zeros(2, 3, dtype=dtype)
+
+    def test_mixed_dtype_rejected(self):
+        with pytest.raises(TypeError, match="dtype mismatch"):
+            Matrix.zeros(1, 1, dtype="float32") + Matrix.zeros(1, 1, dtype="float64")
+
+    def test_bias_broadcast(self, dtype):
+        x = Matrix(np.ones((4, 3)), dtype=dtype)
+        b = Matrix([[1.0, 2.0, 3.0]], dtype=dtype)
+        out = x + b
+        assert out.shape == (4, 3)
+        np.testing.assert_allclose(out.to_numpy()[2], [2, 3, 4], atol=1e-4)
+
+    def test_transpose(self, dtype):
+        a = Matrix([[1.0, 2.0, 3.0]], dtype=dtype)
+        assert a.T.shape == (3, 1)
+        assert a.T.T == a
+
+    @given(small_matrices)
+    @settings(max_examples=100, deadline=None)
+    def test_property_add_commutative_float64(self, arr):
+        a = Matrix(arr, dtype="float64")
+        b = Matrix(arr * 0.5, dtype="float64")
+        assert (a + b).allclose(b + a)
+
+    @given(small_matrices)
+    @settings(max_examples=100, deadline=None)
+    def test_property_double_transpose_identity(self, arr):
+        for dt in ALL_DTYPES:
+            m = Matrix(arr, dtype=dt)
+            assert m.T.T == m
+
+    @given(st.integers(1, 4), st.integers(1, 4), st.integers(1, 4))
+    @settings(max_examples=50, deadline=None)
+    def test_property_matmul_identity(self, r, k, c):
+        rng = np.random.default_rng(r * 100 + k * 10 + c)
+        a = Matrix(rng.uniform(-5, 5, (r, c)), dtype="float64")
+        eye = Matrix.eye(c, dtype="float64")
+        assert (a @ eye).allclose(a)
+
+
+class TestNonlinearities:
+    def test_sigmoid_range(self, dtype):
+        m = Matrix([[-100.0, 0.0, 100.0]], dtype=dtype)
+        s = m.sigmoid().to_numpy()
+        assert s[0, 0] == pytest.approx(0.0, abs=1e-4)
+        assert s[0, 1] == pytest.approx(0.5, abs=1e-4)
+        assert s[0, 2] == pytest.approx(1.0, abs=1e-4)
+
+    def test_relu(self, dtype):
+        m = Matrix([[-1.0, 0.0, 2.0]], dtype=dtype)
+        np.testing.assert_allclose(m.relu().to_numpy(), [[0, 0, 2]], atol=1e-4)
+
+    def test_softmax_rows(self, dtype):
+        m = Matrix([[1.0, 2.0], [3.0, 1.0]], dtype=dtype)
+        s = m.softmax(axis=1).to_numpy()
+        np.testing.assert_allclose(s.sum(axis=1), 1.0, atol=1e-3)
+
+    def test_exp_log_roundtrip(self):
+        m = Matrix([[0.5, 1.0, 2.0]], dtype="float64")
+        np.testing.assert_allclose(m.exp().log().to_numpy(), m.to_numpy(), atol=1e-8)
+
+
+class TestReductions:
+    def test_sum_all(self, dtype):
+        m = Matrix([[1.0, 2.0], [3.0, 4.0]], dtype=dtype)
+        assert m.sum().item() == pytest.approx(10.0, abs=1e-3)
+
+    def test_sum_axis0_keeps_2d(self, dtype):
+        m = Matrix([[1.0, 2.0], [3.0, 4.0]], dtype=dtype)
+        s = m.sum(axis=0)
+        assert s.shape == (1, 2)
+        np.testing.assert_allclose(s.to_numpy(), [[4, 6]], atol=1e-3)
+
+    def test_mean(self, dtype):
+        m = Matrix([[2.0, 4.0]], dtype=dtype)
+        assert m.mean().item() == pytest.approx(3.0, abs=1e-3)
+
+    def test_argmax(self, dtype):
+        m = Matrix([[1.0, 5.0, 2.0], [9.0, 0.0, 1.0]], dtype=dtype)
+        np.testing.assert_array_equal(m.argmax(axis=1), [1, 0])
+
+    def test_item_requires_1x1(self):
+        with pytest.raises(ValueError):
+            Matrix.zeros(2, 2).item()
+
+    def test_row_and_getitem(self, dtype):
+        m = Matrix([[1.0, 2.0], [3.0, 4.0]], dtype=dtype)
+        assert m.row(1).shape == (1, 2)
+        assert m[1, 0] == pytest.approx(3.0, abs=1e-4)
+
+
+class TestConversionAndObserver:
+    def test_astype_round_trip(self):
+        m = Matrix([[1.5, -2.25]], dtype="float64")
+        assert m.astype("fixed32").astype("float64").allclose(m, atol=1e-4)
+
+    def test_copy_is_independent(self, dtype):
+        m = Matrix([[1.0]], dtype=dtype)
+        c = m.copy()
+        assert c == m
+        assert c.raw is not m.raw
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Matrix.zeros(1, 1))
+
+    def test_alloc_observer_sees_allocations(self):
+        seen = []
+        set_alloc_observer(seen.append)
+        try:
+            Matrix.zeros(4, 4, dtype="float32")
+        finally:
+            set_alloc_observer(None)
+        assert sum(seen) >= 4 * 4 * 4  # at least the data buffer
+
+    def test_nbytes(self):
+        assert Matrix.zeros(2, 2, dtype="float64").nbytes == 32
+        assert Matrix.zeros(2, 2, dtype="float32").nbytes == 16
+        assert Matrix.zeros(2, 2, dtype="fixed32").nbytes == 16

@@ -1,0 +1,115 @@
+"""Tests for metrics and k-fold cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.kml.decision_tree import DecisionTreeClassifier
+from repro.kml.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    k_fold_cross_validate,
+    precision_recall_f1,
+)
+
+
+class TestBasicMetrics:
+    def test_accuracy(self):
+        assert accuracy_score([1, 0, 1], [1, 1, 1]) == pytest.approx(2 / 3)
+
+    def test_accuracy_validates(self):
+        with pytest.raises(ValueError):
+            accuracy_score([1], [1, 2])
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+    def test_confusion_matrix(self):
+        cm = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1], 2)
+        np.testing.assert_array_equal(cm, [[1, 1], [0, 2]])
+
+    def test_confusion_diagonal_for_perfect(self):
+        cm = confusion_matrix([0, 1, 2], [0, 1, 2], 3)
+        assert np.trace(cm) == 3 and cm.sum() == 3
+
+    def test_precision_recall_f1(self):
+        p, r, f1 = precision_recall_f1([0, 0, 1, 1], [0, 1, 1, 1], 2)
+        assert p[1] == pytest.approx(2 / 3)
+        assert r[1] == pytest.approx(1.0)
+        assert f1[1] == pytest.approx(0.8)
+
+    def test_undefined_precision_is_zero(self):
+        p, _, f1 = precision_recall_f1([0, 0], [0, 0], 2)
+        assert p[1] == 0.0 and f1[1] == 0.0
+
+
+class TestKFold:
+    def test_high_accuracy_on_separable(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(100, 2))
+        y = (x[:, 0] > 0).astype(int)
+        result = k_fold_cross_validate(
+            lambda: DecisionTreeClassifier(max_depth=3), x, y, k=10,
+            rng=np.random.default_rng(1),
+        )
+        assert len(result.fold_accuracies) == 10
+        assert result.mean_accuracy > 0.9
+
+    def test_each_sample_tested_once(self):
+        # A model that remembers which rows it saw in fit.
+        seen_test_rows = []
+
+        class Recorder:
+            def fit(self, x, y):
+                self.trained = {tuple(r) for r in x}
+                return self
+
+            def accuracy(self, x, y):
+                seen_test_rows.extend(tuple(r) for r in x)
+                # no test row may have been in this fold's training set
+                assert not any(tuple(r) in self.trained for r in x)
+                return 1.0
+
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(30, 2))
+        y = np.zeros(30, dtype=int)
+        k_fold_cross_validate(Recorder, x, y, k=5, rng=np.random.default_rng(3))
+        assert len(set(seen_test_rows)) == 30
+
+    def test_validates_inputs(self):
+        x = np.zeros((10, 2))
+        y = np.zeros(10, dtype=int)
+        with pytest.raises(ValueError):
+            k_fold_cross_validate(DecisionTreeClassifier, x, y, k=1)
+        with pytest.raises(ValueError):
+            k_fold_cross_validate(DecisionTreeClassifier, x, y, k=11)
+        with pytest.raises(ValueError):
+            k_fold_cross_validate(DecisionTreeClassifier, x, y[:5], k=2)
+
+    def test_str_formats_percentages(self):
+        result = k_fold_cross_validate(
+            lambda: DecisionTreeClassifier(max_depth=2),
+            np.random.default_rng(0).normal(size=(20, 2)),
+            np.zeros(20, dtype=int),
+            k=2,
+            rng=np.random.default_rng(1),
+        )
+        assert "%" in str(result)
+
+
+class TestClassificationReport:
+    def test_report_contains_all_classes_and_accuracy(self):
+        from repro.kml.metrics import classification_report
+
+        report = classification_report(
+            [0, 0, 1, 1, 2], [0, 1, 1, 1, 2], ["alpha", "beta", "gamma"]
+        )
+        for name in ("alpha", "beta", "gamma", "accuracy"):
+            assert name in report
+        assert "support" in report
+
+    def test_values_match_prf(self):
+        from repro.kml.metrics import classification_report
+
+        report = classification_report([0, 0, 1, 1], [0, 1, 1, 1], ["a", "b"])
+        # class b: precision 2/3, recall 1.0, f1 0.8, support 2
+        line = [l for l in report.splitlines() if l.startswith("b")][0]
+        assert "0.667" in line and "1.000" in line and "0.800" in line

@@ -1,0 +1,182 @@
+"""Tests for the KML model file format: round-trips and corruption."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.kml import (
+    DecisionTreeClassifier,
+    Linear,
+    ModelFormatError,
+    Sequential,
+    Sigmoid,
+    load_model,
+    save_model,
+)
+from repro.kml.layers import Dropout, ReLU, Softmax, Tanh
+from repro.kml.model_io import MAGIC
+
+
+@pytest.fixture
+def nn_model():
+    rng = np.random.default_rng(0)
+    return Sequential(
+        [
+            Linear(5, 8, dtype="float32", rng=rng, name="fc1"),
+            Sigmoid(),
+            Linear(8, 3, dtype="float32", rng=rng, name="fc2"),
+        ],
+        name="testnet",
+    )
+
+
+@pytest.fixture
+def tree_model():
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=(100, 3))
+    y = (x[:, 0] > 0).astype(int)
+    return DecisionTreeClassifier(max_depth=4).fit(x, y)
+
+
+class TestRoundTrip:
+    def test_sequential_predictions_identical(self, nn_model, tmp_path):
+        path = str(tmp_path / "model.kml")
+        save_model(nn_model, path)
+        loaded = load_model(path)
+        x = np.random.default_rng(2).normal(size=(10, 5))
+        np.testing.assert_array_equal(
+            loaded.predict(x).to_numpy(), nn_model.predict(x).to_numpy()
+        )
+        assert loaded.name == "testnet"
+        assert loaded.layers[0].name == "fc1"
+
+    def test_all_stateless_layer_kinds(self, tmp_path):
+        rng = np.random.default_rng(3)
+        model = Sequential(
+            [Linear(2, 2, rng=rng), ReLU(), Tanh(), Softmax(), Dropout(0.3)]
+        )
+        path = str(tmp_path / "m.kml")
+        save_model(model, path)
+        loaded = load_model(path)
+        kinds = [layer.kind for layer in loaded.layers]
+        assert kinds == ["linear", "relu", "tanh", "softmax", "dropout"]
+        assert loaded.layers[-1].p == pytest.approx(0.3)
+
+    def test_tree_round_trip(self, tree_model, tmp_path):
+        path = str(tmp_path / "tree.kml")
+        save_model(tree_model, path)
+        loaded = load_model(path)
+        x = np.random.default_rng(4).normal(size=(50, 3))
+        np.testing.assert_array_equal(loaded.predict(x), tree_model.predict(x))
+
+    def test_float64_dtype_preserved(self, tmp_path):
+        model = Sequential([Linear(2, 2, dtype="float64")])
+        path = str(tmp_path / "m.kml")
+        save_model(model, path)
+        assert load_model(path).layers[0].dtype == "float64"
+
+    def test_unsupported_model_type(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_model(object(), str(tmp_path / "x.kml"))
+
+
+class TestCorruption:
+    def test_flipped_byte_detected(self, nn_model, tmp_path):
+        path = str(tmp_path / "model.kml")
+        save_model(nn_model, path)
+        data = bytearray(open(path, "rb").read())
+        data[len(data) // 2] ^= 0xFF
+        open(path, "wb").write(bytes(data))
+        with pytest.raises(ModelFormatError, match="CRC"):
+            load_model(path)
+
+    def test_truncated_file_detected(self, nn_model, tmp_path):
+        path = str(tmp_path / "model.kml")
+        save_model(nn_model, path)
+        data = open(path, "rb").read()
+        open(path, "wb").write(data[: len(data) // 2])
+        with pytest.raises(ModelFormatError):
+            load_model(path)
+
+    def test_tiny_file_rejected(self, tmp_path):
+        path = str(tmp_path / "tiny.kml")
+        open(path, "wb").write(b"xx")
+        with pytest.raises(ModelFormatError, match="too small"):
+            load_model(path)
+
+    def test_bad_magic_rejected(self, nn_model, tmp_path):
+        path = str(tmp_path / "model.kml")
+        save_model(nn_model, path)
+        data = bytearray(open(path, "rb").read())
+        data[:4] = b"NOPE"
+        # Fix the CRC so only the magic check trips.
+        import zlib
+
+        body = bytes(data[:-4])
+        data[-4:] = struct.pack("<I", zlib.crc32(body) & 0xFFFFFFFF)
+        open(path, "wb").write(bytes(data))
+        with pytest.raises(ModelFormatError, match="magic"):
+            load_model(path)
+
+    def test_bad_version_rejected(self, nn_model, tmp_path):
+        path = str(tmp_path / "model.kml")
+        save_model(nn_model, path)
+        data = bytearray(open(path, "rb").read())
+        struct.pack_into("<I", data, len(MAGIC), 999)
+        import zlib
+
+        body = bytes(data[:-4])
+        data[-4:] = struct.pack("<I", zlib.crc32(body) & 0xFFFFFFFF)
+        open(path, "wb").write(bytes(data))
+        with pytest.raises(ModelFormatError, match="version"):
+            load_model(path)
+
+    def test_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            load_model(str(tmp_path / "absent.kml"))
+
+
+class TestNormalizationLayerRoundTrip:
+    def test_batchnorm_running_stats_preserved(self, tmp_path):
+        import numpy as np
+
+        from repro.kml import BatchNorm1d
+
+        rng = np.random.default_rng(7)
+        model = Sequential([BatchNorm1d(3), Linear(3, 2, dtype="float64", rng=rng)])
+        # Accumulate some running statistics, then freeze.
+        for _ in range(20):
+            model.forward(
+                __import__("repro.kml.matrix", fromlist=["Matrix"]).Matrix(
+                    rng.normal(5, 2, size=(16, 3)), dtype="float64"
+                )
+            )
+        model.eval()
+        path = str(tmp_path / "bn.kml")
+        save_model(model, path)
+        loaded = load_model(path)
+        loaded.eval()
+        x = rng.normal(5, 2, size=(4, 3))
+        np.testing.assert_allclose(
+            loaded.predict(x, dtype="float64").to_numpy(),
+            model.predict(x, dtype="float64").to_numpy(),
+            atol=1e-10,
+        )
+
+    def test_layernorm_round_trip(self, tmp_path):
+        import numpy as np
+
+        from repro.kml import LayerNorm
+        from repro.kml.matrix import Matrix
+
+        model = Sequential([LayerNorm(4)])
+        model.layers[0].gamma.value = Matrix([[2.0, 2.0, 2.0, 2.0]], dtype="float64")
+        path = str(tmp_path / "ln.kml")
+        save_model(model, path)
+        loaded = load_model(path)
+        x = np.random.default_rng(8).normal(size=(3, 4))
+        np.testing.assert_allclose(
+            loaded.predict(x, dtype="float64").to_numpy(),
+            model.predict(x, dtype="float64").to_numpy(),
+        )

@@ -1,0 +1,134 @@
+"""Tests for the Sequential model container."""
+
+import numpy as np
+import pytest
+
+from repro.kml import (
+    CrossEntropyLoss,
+    Linear,
+    MSELoss,
+    SGD,
+    Sequential,
+    Sigmoid,
+)
+from repro.kml.layers import Dropout, ReLU
+from repro.kml.matrix import Matrix
+
+
+def two_layer(rng, dtype="float64"):
+    return Sequential(
+        [Linear(4, 8, dtype=dtype, rng=rng), Sigmoid(), Linear(8, 2, dtype=dtype, rng=rng)]
+    )
+
+
+class TestForwardBackward:
+    def test_forward_chains_layers(self):
+        rng = np.random.default_rng(0)
+        model = two_layer(rng)
+        x = Matrix(rng.normal(size=(3, 4)), dtype="float64")
+        manual = model.layers[2].forward(
+            model.layers[1].forward(model.layers[0].forward(x))
+        )
+        assert model.forward(x).allclose(manual)
+
+    def test_add_chains(self):
+        model = Sequential().add(Linear(2, 2)).add(Sigmoid())
+        assert len(model.layers) == 2
+
+    def test_parameters_collects_all(self):
+        model = two_layer(np.random.default_rng(0))
+        assert len(model.parameters()) == 4  # 2 weights + 2 biases
+
+    def test_num_parameters(self):
+        model = two_layer(np.random.default_rng(0))
+        assert model.num_parameters == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_train_eval_propagates(self):
+        model = Sequential([Dropout(0.5), Linear(2, 2)])
+        model.eval()
+        assert all(not layer.training for layer in model.layers)
+        model.train()
+        assert all(layer.training for layer in model.layers)
+
+
+class TestTraining:
+    def test_loss_decreases_on_separable_data(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(200, 4))
+        y = (x[:, 0] + x[:, 1] > 0).astype(int)
+        model = two_layer(rng)
+        opt = SGD(model.parameters(), lr=0.5, momentum=0.9)
+        history = model.fit(x, y, CrossEntropyLoss(), opt, epochs=30, rng=rng)
+        assert history[-1] < history[0] * 0.5
+        assert model.accuracy(x, y) > 0.9
+
+    def test_fit_regression_with_mse(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(100, 4))
+        target = x @ rng.normal(size=(4, 2))
+        model = Sequential([Linear(4, 2, dtype="float64", rng=rng)])
+        opt = SGD(model.parameters(), lr=0.1)
+        history = model.fit(
+            x, target, MSELoss(), opt, epochs=50, rng=rng, dtype="float64"
+        )
+        assert history[-1] < 0.01
+
+    def test_fit_validates_shapes(self):
+        model = two_layer(np.random.default_rng(0))
+        opt = SGD(model.parameters(), lr=0.1)
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((4, 4)), [0, 1], CrossEntropyLoss(), opt)
+        with pytest.raises(ValueError):
+            model.fit(np.zeros(4), [0] * 4, CrossEntropyLoss(), opt)
+
+    def test_deterministic_given_seed(self):
+        def train():
+            rng = np.random.default_rng(7)
+            x = np.random.default_rng(8).normal(size=(50, 4))
+            y = (x[:, 0] > 0).astype(int)
+            model = two_layer(rng)
+            opt = SGD(model.parameters(), lr=0.1)
+            model.fit(x, y, CrossEntropyLoss(), opt, epochs=5, rng=rng)
+            return model.predict(x).to_numpy()
+
+        np.testing.assert_array_equal(train(), train())
+
+    def test_training_works_with_fixed_point(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(100, 4))
+        y = (x[:, 0] > 0).astype(int)
+        model = Sequential(
+            [Linear(4, 8, dtype="fixed32", rng=rng), Sigmoid(),
+             Linear(8, 2, dtype="fixed32", rng=rng)]
+        )
+        opt = SGD(model.parameters(), lr=0.1, momentum=0.5)
+        model.fit(x, y, CrossEntropyLoss(), opt, epochs=20, rng=rng, dtype="fixed32")
+        assert model.accuracy(x, y, dtype="fixed32") > 0.8
+
+
+class TestInference:
+    def test_predict_accepts_arrays(self):
+        model = two_layer(np.random.default_rng(0))
+        out = model.predict(np.zeros((2, 4)), dtype="float64")
+        assert out.shape == (2, 2)
+
+    def test_predict_restores_training_mode(self):
+        model = Sequential([Dropout(0.5), Linear(2, 2)])
+        model.train()
+        model.predict(np.zeros((1, 2)))
+        assert model.layers[0].training
+
+    def test_predict_classes_shape(self):
+        model = two_layer(np.random.default_rng(0))
+        classes = model.predict_classes(np.zeros((5, 4)), dtype="float64")
+        assert classes.shape == (5,)
+        assert set(classes) <= {0, 1}
+
+    def test_accuracy_validates_lengths(self):
+        model = two_layer(np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            model.accuracy(np.zeros((2, 4)), [0])
+
+    def test_summary_mentions_layers(self):
+        text = two_layer(np.random.default_rng(0)).summary()
+        assert "Linear" in text and "parameters" in text

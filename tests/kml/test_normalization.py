@@ -1,0 +1,134 @@
+"""Tests for BatchNorm1d and LayerNorm."""
+
+import numpy as np
+import pytest
+
+from repro.kml import (
+    BatchNorm1d,
+    CrossEntropyLoss,
+    LayerNorm,
+    Linear,
+    ReLU,
+    SGD,
+    Sequential,
+)
+from repro.kml.matrix import Matrix
+
+
+def numeric_input_grad(layer, x, upstream, eps=1e-6):
+    grad = np.zeros_like(x)
+    for i in range(x.shape[0]):
+        for j in range(x.shape[1]):
+            for sign in (1, -1):
+                bumped = x.copy()
+                bumped[i, j] += sign * eps
+                out = layer.forward(Matrix(bumped, dtype="float64")).to_numpy()
+                grad[i, j] += sign * np.sum(upstream * out) / (2 * eps)
+    return grad
+
+
+class TestBatchNorm:
+    def test_training_output_standardized(self):
+        rng = np.random.default_rng(0)
+        layer = BatchNorm1d(4)
+        x = rng.normal(5, 3, size=(64, 4))
+        out = layer.forward(Matrix(x, dtype="float64")).to_numpy()
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-3)
+
+    def test_running_stats_converge(self):
+        rng = np.random.default_rng(1)
+        layer = BatchNorm1d(2, running_momentum=0.2)
+        for _ in range(200):
+            layer.forward(Matrix(rng.normal(10, 2, size=(32, 2)), dtype="float64"))
+        np.testing.assert_allclose(layer.running_mean, 10.0, atol=0.5)
+        np.testing.assert_allclose(np.sqrt(layer.running_var), 2.0, atol=0.3)
+
+    def test_eval_uses_running_stats(self):
+        rng = np.random.default_rng(2)
+        layer = BatchNorm1d(3, running_momentum=0.5)
+        for _ in range(50):
+            layer.forward(Matrix(rng.normal(4, 1, size=(16, 3)), dtype="float64"))
+        layer.eval()
+        single = layer.forward(Matrix([[4.0, 4.0, 4.0]], dtype="float64"))
+        np.testing.assert_allclose(single.to_numpy(), 0.0, atol=0.3)
+
+    def test_input_gradient_matches_numeric(self):
+        rng = np.random.default_rng(3)
+        layer = BatchNorm1d(3)
+        x = rng.normal(size=(6, 3))
+        upstream = rng.normal(size=(6, 3))
+        layer.forward(Matrix(x, dtype="float64"))
+        analytic = layer.backward(Matrix(upstream, dtype="float64")).to_numpy()
+        numeric = numeric_input_grad(BatchNorm1d(3), x, upstream)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+    def test_gamma_beta_gradients(self):
+        rng = np.random.default_rng(4)
+        layer = BatchNorm1d(2)
+        x = rng.normal(size=(8, 2))
+        upstream = rng.normal(size=(8, 2))
+        layer.forward(Matrix(x, dtype="float64"))
+        layer.backward(Matrix(upstream, dtype="float64"))
+        np.testing.assert_allclose(
+            layer.beta.grad.to_numpy(), upstream.sum(axis=0, keepdims=True)
+        )
+        assert np.any(layer.gamma.grad.to_numpy() != 0)
+
+    def test_trains_inside_network(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(200, 4)) * 50 + 100  # badly scaled inputs
+        y = (x[:, 0] > 100).astype(int)
+        model = Sequential(
+            [BatchNorm1d(4), Linear(4, 8, dtype="float64", rng=rng), ReLU(),
+             Linear(8, 2, dtype="float64", rng=rng)]
+        )
+        opt = SGD(model.parameters(), lr=0.1, momentum=0.9)
+        model.fit(x, y, CrossEntropyLoss(), opt, epochs=30, rng=rng)
+        assert model.accuracy(x, y) > 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchNorm1d(0)
+        with pytest.raises(ValueError):
+            BatchNorm1d(2, running_momentum=0.0)
+        with pytest.raises(ValueError):
+            BatchNorm1d(2).forward(Matrix.zeros(1, 3))
+        with pytest.raises(RuntimeError):
+            BatchNorm1d(2).backward(Matrix.zeros(1, 2))
+
+
+class TestLayerNorm:
+    def test_rows_standardized(self):
+        rng = np.random.default_rng(6)
+        layer = LayerNorm(8)
+        out = layer.forward(
+            Matrix(rng.normal(3, 5, size=(10, 8)), dtype="float64")
+        ).to_numpy()
+        np.testing.assert_allclose(out.mean(axis=1), 0.0, atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=1), 1.0, atol=1e-3)
+
+    def test_independent_of_batch(self):
+        layer = LayerNorm(4)
+        row = np.array([[1.0, 2.0, 3.0, 4.0]])
+        alone = layer.forward(Matrix(row, dtype="float64")).to_numpy()
+        batch = layer.forward(
+            Matrix(np.vstack([row, row * 100]), dtype="float64")
+        ).to_numpy()
+        np.testing.assert_allclose(batch[0], alone[0], atol=1e-10)
+
+    def test_input_gradient_matches_numeric(self):
+        rng = np.random.default_rng(7)
+        layer = LayerNorm(5)
+        x = rng.normal(size=(4, 5))
+        upstream = rng.normal(size=(4, 5))
+        layer.forward(Matrix(x, dtype="float64"))
+        analytic = layer.backward(Matrix(upstream, dtype="float64")).to_numpy()
+        numeric = numeric_input_grad(LayerNorm(5), x, upstream)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LayerNorm(0)
+        with pytest.raises(RuntimeError):
+            LayerNorm(2).backward(Matrix.zeros(1, 2))

@@ -1,0 +1,79 @@
+"""Tests for SGD (with momentum) and Adam."""
+
+import numpy as np
+import pytest
+
+from repro.kml.layers.base import Parameter
+from repro.kml.matrix import Matrix
+from repro.kml.optimizers import SGD, Adam
+
+
+def make_param(value):
+    p = Parameter("w", Matrix(value, dtype="float64"))
+    return p
+
+
+class TestSGD:
+    def test_plain_step(self):
+        p = make_param([[1.0]])
+        p.grad = Matrix([[0.5]], dtype="float64")
+        SGD([p], lr=0.1).step()
+        assert p.value.item() == pytest.approx(0.95)
+
+    def test_momentum_accumulates(self):
+        p = make_param([[0.0]])
+        opt = SGD([p], lr=1.0, momentum=0.5)
+        p.grad = Matrix([[1.0]], dtype="float64")
+        opt.step()  # v = 1, w = -1
+        assert p.value.item() == pytest.approx(-1.0)
+        opt.step()  # v = 1.5, w = -2.5
+        assert p.value.item() == pytest.approx(-2.5)
+
+    def test_zero_grad(self):
+        p = make_param([[1.0]])
+        p.grad = Matrix([[2.0]], dtype="float64")
+        SGD([p], lr=0.1).zero_grad()
+        assert p.grad.item() == 0.0
+
+    def test_validation(self):
+        p = make_param([[1.0]])
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.1, momentum=1.0)
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_minimizes_quadratic(self):
+        # f(w) = (w - 3)^2, grad = 2(w - 3)
+        p = make_param([[0.0]])
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        for _ in range(400):
+            w = p.value.item()
+            p.grad = Matrix([[2 * (w - 3.0)]], dtype="float64")
+            opt.step()
+        assert p.value.item() == pytest.approx(3.0, abs=1e-3)
+
+
+class TestAdam:
+    def test_minimizes_quadratic(self):
+        p = make_param([[0.0]])
+        opt = Adam([p], lr=0.2)
+        for _ in range(200):
+            w = p.value.item()
+            p.grad = Matrix([[2 * (w - 3.0)]], dtype="float64")
+            opt.step()
+        assert p.value.item() == pytest.approx(3.0, abs=1e-2)
+
+    def test_first_step_magnitude_is_lr(self):
+        # Adam's first step is ~lr regardless of gradient scale.
+        for scale in (1e-3, 1e3):
+            p = make_param([[0.0]])
+            opt = Adam([p], lr=0.1)
+            p.grad = Matrix([[scale]], dtype="float64")
+            opt.step()
+            assert abs(p.value.item()) == pytest.approx(0.1, rel=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Adam([make_param([[1.0]])], lr=-1.0)

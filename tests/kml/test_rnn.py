@@ -1,0 +1,102 @@
+"""Tests for the LSTM extension (paper future work, section 6)."""
+
+import numpy as np
+import pytest
+
+from repro.kml.rnn import LSTMCell, LSTMClassifier
+
+
+def temporal_dataset(n_per_class=30, length=12, seed=0):
+    """Three classes distinguishable only through temporal structure:
+    rising ramps, falling ramps, and alternating spikes.  A memoryless
+    model sees nearly identical marginal distributions."""
+    rng = np.random.default_rng(seed)
+    sequences, labels = [], []
+    t = np.linspace(0, 1, length)
+    for _ in range(n_per_class):
+        noise = lambda: rng.normal(0, 0.05, size=length)
+        sequences.append((t + noise()).reshape(length, 1))
+        labels.append(0)
+        sequences.append((t[::-1] + noise()).reshape(length, 1))
+        labels.append(1)
+        alternating = 0.5 + 0.5 * np.where(np.arange(length) % 2 == 0, 1, -1) * 0.5
+        sequences.append((alternating + noise()).reshape(length, 1))
+        labels.append(2)
+    return np.asarray(sequences), np.asarray(labels)
+
+
+class TestLSTMCell:
+    def test_parameter_shapes(self):
+        cell = LSTMCell(3, 8, rng=np.random.default_rng(0))
+        assert cell.params["Wx_i"].shape == (3, 8)
+        assert cell.params["Wh_f"].shape == (8, 8)
+        assert cell.params["b_o"].shape == (1, 8)
+        assert cell.num_parameters == 4 * (3 * 8 + 8 * 8 + 8)
+
+    def test_forget_bias_initialized_to_one(self):
+        cell = LSTMCell(2, 4, rng=np.random.default_rng(0))
+        np.testing.assert_allclose(cell.params["b_f"], 1.0)
+
+    def test_step_shapes_and_bounds(self):
+        import repro.kml.autodiff as ad
+
+        cell = LSTMCell(2, 4, rng=np.random.default_rng(1))
+        tensors = cell.lift()
+        h, c = cell.step(
+            tensors,
+            ad.Tensor(np.ones((1, 2))),
+            ad.Tensor(np.zeros((1, 4))),
+            ad.Tensor(np.zeros((1, 4))),
+        )
+        assert h.value.shape == (1, 4)
+        assert np.all(np.abs(h.value) <= 1.0)  # tanh-bounded
+
+    def test_gradients_flow_through_time(self):
+        import repro.kml.autodiff as ad
+
+        cell = LSTMCell(1, 3, rng=np.random.default_rng(2))
+        tensors = cell.lift()
+        h = ad.Tensor(np.zeros((1, 3)))
+        c = ad.Tensor(np.zeros((1, 3)))
+        for t in range(5):
+            h, c = cell.step(tensors, ad.Tensor([[float(t)]]), h, c)
+        h.sum().backward()
+        # Every gate weight must receive gradient through the unroll.
+        for name, tensor in tensors.items():
+            assert tensor.grad is not None, name
+            assert np.any(tensor.grad != 0), name
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LSTMCell(0, 4)
+
+
+class TestLSTMClassifier:
+    def test_learns_temporal_structure(self):
+        sequences, labels = temporal_dataset(n_per_class=20)
+        model = LSTMClassifier(
+            1, 8, 3, rng=np.random.default_rng(0), lr=0.05, momentum=0.9
+        )
+        model.fit(sequences, labels, epochs=8, rng=np.random.default_rng(1))
+        assert model.accuracy(sequences, labels) > 0.85
+        assert model.loss_history[-1] < model.loss_history[0]
+
+    def test_predict_proba_rows_sum_one(self):
+        sequences, labels = temporal_dataset(n_per_class=2)
+        model = LSTMClassifier(1, 4, 3, rng=np.random.default_rng(2))
+        probs = model.predict_proba(sequences[:4])
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_single_sequence_predict(self):
+        sequences, _ = temporal_dataset(n_per_class=1)
+        model = LSTMClassifier(1, 4, 3, rng=np.random.default_rng(3))
+        assert model.predict(sequences[0]).shape == (1,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LSTMClassifier(1, 4, 1)
+        model = LSTMClassifier(1, 4, 2, rng=np.random.default_rng(4))
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((2, 3)), [0, 1])  # not 3-D
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((2, 3, 1)), [0])  # count mismatch

@@ -1,0 +1,143 @@
+"""Tests for training utilities: splits, early stopping, LR decay."""
+
+import numpy as np
+import pytest
+
+from repro.kml import (
+    CrossEntropyLoss,
+    EarlyStopping,
+    Linear,
+    SGD,
+    Sequential,
+    Sigmoid,
+    StepDecay,
+    fit_with_validation,
+    train_val_split,
+)
+
+
+class TestSplit:
+    def test_sizes_and_disjointness(self):
+        x = np.arange(100, dtype=float).reshape(-1, 1)
+        y = np.arange(100)
+        xt, yt, xv, yv = train_val_split(x, y, 0.2, np.random.default_rng(0))
+        assert len(xv) == 20 and len(xt) == 80
+        assert set(yv.tolist()).isdisjoint(set(yt.tolist()))
+        assert sorted(np.concatenate([yt, yv]).tolist()) == list(range(100))
+
+    def test_rows_stay_paired(self):
+        x = np.arange(50, dtype=float).reshape(-1, 1)
+        y = np.arange(50)
+        xt, yt, _, _ = train_val_split(x, y, 0.3, np.random.default_rng(1))
+        np.testing.assert_array_equal(xt[:, 0].astype(int), yt)
+
+    def test_validation(self):
+        x = np.zeros((10, 2))
+        with pytest.raises(ValueError):
+            train_val_split(x, np.zeros(9))
+        with pytest.raises(ValueError):
+            train_val_split(x, np.zeros(10), val_fraction=0.0)
+        with pytest.raises(ValueError):
+            train_val_split(np.zeros((1, 2)), np.zeros(1), val_fraction=0.9)
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience(self):
+        stopper = EarlyStopping(patience=2)
+        assert not stopper.step(1.0, 0)
+        assert not stopper.step(1.1, 1)   # worse (1)
+        assert stopper.step(1.2, 2)       # worse (2) -> stop
+
+    def test_improvement_resets(self):
+        stopper = EarlyStopping(patience=2)
+        stopper.step(1.0, 0)
+        stopper.step(1.1, 1)
+        assert not stopper.step(0.9, 2)   # improved
+        assert stopper.best == 0.9 and stopper.best_epoch == 2
+
+    def test_min_delta(self):
+        stopper = EarlyStopping(patience=1, min_delta=0.1)
+        stopper.step(1.0, 0)
+        assert stopper.step(0.95, 1)      # not enough improvement
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=0)
+        with pytest.raises(ValueError):
+            EarlyStopping(min_delta=-1)
+
+
+class TestStepDecay:
+    def test_halves_on_schedule(self):
+        model = Sequential([Linear(2, 2)])
+        opt = SGD(model.parameters(), lr=1.0)
+        schedule = StepDecay(every=2, factor=0.5)
+        lrs = [schedule.apply(opt, epoch) for epoch in range(5)]
+        assert lrs == [1.0, 1.0, 0.5, 0.5, 0.25]
+
+    def test_min_lr_floor(self):
+        model = Sequential([Linear(2, 2)])
+        opt = SGD(model.parameters(), lr=1e-5)
+        schedule = StepDecay(every=1, factor=0.1, min_lr=1e-6)
+        for epoch in range(1, 10):
+            schedule.apply(opt, epoch)
+        assert opt.lr == pytest.approx(1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepDecay(every=0)
+        with pytest.raises(ValueError):
+            StepDecay(every=1, factor=0.0)
+
+
+class TestFitWithValidation:
+    def _data(self, n=300, seed=0):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(n, 4))
+        y = (x[:, 0] + x[:, 1] > 0).astype(int)
+        return x, y
+
+    def _model(self, seed=1):
+        rng = np.random.default_rng(seed)
+        return Sequential(
+            [Linear(4, 8, dtype="float64", rng=rng), Sigmoid(),
+             Linear(8, 2, dtype="float64", rng=rng)]
+        )
+
+    def test_reports_losses_and_lrs(self):
+        x, y = self._data()
+        model = self._model()
+        opt = SGD(model.parameters(), lr=0.3, momentum=0.9)
+        report = fit_with_validation(
+            model, x, y, CrossEntropyLoss(), opt, epochs=10,
+            rng=np.random.default_rng(2),
+        )
+        assert report.epochs_run == 10
+        assert len(report.val_losses) == 10
+        assert report.val_losses[-1] < report.val_losses[0]
+        assert report.best_epoch >= 0
+
+    def test_early_stopping_triggers_on_plateau(self):
+        x, y = self._data()
+        model = self._model()
+        # Absurd LR so validation quickly stops improving.
+        opt = SGD(model.parameters(), lr=5.0, momentum=0.99)
+        report = fit_with_validation(
+            model, x, y, CrossEntropyLoss(), opt, epochs=200,
+            early_stopping=EarlyStopping(patience=3),
+            rng=np.random.default_rng(3),
+        )
+        assert report.stopped_early
+        assert report.epochs_run < 200
+
+    def test_schedule_decays_lr(self):
+        x, y = self._data()
+        model = self._model()
+        opt = SGD(model.parameters(), lr=0.4)
+        report = fit_with_validation(
+            model, x, y, CrossEntropyLoss(), opt, epochs=6,
+            schedule=StepDecay(every=2, factor=0.5),
+            rng=np.random.default_rng(4),
+        )
+        assert report.learning_rates[0] == 0.4
+        assert report.learning_rates[-1] < 0.4

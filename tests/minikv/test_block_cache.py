@@ -1,0 +1,59 @@
+"""Tests for the optional application-level block cache."""
+
+import pytest
+
+from repro.minikv.block_cache import BlockCache
+
+
+class TestBlockCache:
+    def test_miss_then_hit(self):
+        cache = BlockCache(1024)
+        assert cache.get("a") is None
+        cache.put("a", b"data")
+        assert cache.get("a") == b"data"
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_byte_bound_evicts_lru(self):
+        cache = BlockCache(100)
+        cache.put("a", b"x" * 60)
+        cache.put("b", b"y" * 60)  # evicts a
+        assert cache.get("a") is None
+        assert cache.get("b") is not None
+        assert cache.used_bytes <= 100
+
+    def test_touch_protects_from_eviction(self):
+        cache = BlockCache(120)
+        cache.put("a", b"x" * 50)
+        cache.put("b", b"y" * 50)
+        cache.get("a")  # a is now most-recent
+        cache.put("c", b"z" * 50)  # evicts b
+        assert cache.get("a") is not None
+        assert cache.get("b") is None
+
+    def test_zero_capacity_disables(self):
+        cache = BlockCache(0)
+        cache.put("a", b"data")
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_oversized_block_not_cached(self):
+        cache = BlockCache(10)
+        cache.put("big", b"x" * 100)
+        assert cache.get("big") is None
+
+    def test_replace_updates_bytes(self):
+        cache = BlockCache(100)
+        cache.put("a", b"x" * 40)
+        cache.put("a", b"y" * 10)
+        assert cache.used_bytes == 10
+        assert cache.get("a") == b"y" * 10
+
+    def test_clear(self):
+        cache = BlockCache(100)
+        cache.put("a", b"abc")
+        cache.clear()
+        assert cache.used_bytes == 0 and len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BlockCache(-1)

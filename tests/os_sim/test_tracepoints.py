@@ -1,0 +1,89 @@
+"""Tests for the tracepoint registry."""
+
+import pytest
+
+from repro.os_sim.tracepoints import STANDARD_TRACEPOINTS, TracepointRegistry
+
+
+class TestRegistry:
+    def test_standard_names_present(self):
+        registry = TracepointRegistry()
+        assert "add_to_page_cache" in registry.names
+        assert "writeback_dirty_page" in registry.names
+
+    def test_emit_counts_without_subscribers(self):
+        registry = TracepointRegistry()
+        registry.emit("readahead", 0.0, ino=1)
+        assert registry.hit_counts["readahead"] == 1
+        assert registry.total_hits == 1
+
+    def test_subscriber_receives_event(self):
+        registry = TracepointRegistry()
+        events = []
+        registry.subscribe("add_to_page_cache", events.append)
+        registry.emit("add_to_page_cache", 1.5, ino=3, page=9)
+        assert events[0].name == "add_to_page_cache"
+        assert events[0].timestamp == 1.5
+        assert events[0].fields["page"] == 9
+
+    def test_multiple_subscribers_all_called(self):
+        registry = TracepointRegistry()
+        a, b = [], []
+        registry.subscribe("readahead", a.append)
+        registry.subscribe("readahead", b.append)
+        registry.emit("readahead", 0.0)
+        assert len(a) == len(b) == 1
+
+    def test_unsubscribe(self):
+        registry = TracepointRegistry()
+        events = []
+        registry.subscribe("readahead", events.append)
+        registry.unsubscribe("readahead", events.append)
+        registry.emit("readahead", 0.0)
+        assert events == []
+
+    def test_unsubscribe_unknown_hook(self):
+        registry = TracepointRegistry()
+        with pytest.raises(KeyError):
+            registry.unsubscribe("readahead", lambda e: None)
+
+    def test_subscribe_unknown_name(self):
+        with pytest.raises(KeyError):
+            TracepointRegistry().subscribe("nope", lambda e: None)
+
+    def test_register_new_tracepoint(self):
+        registry = TracepointRegistry()
+        registry.register("my_subsystem_event")
+        registry.emit("my_subsystem_event", 0.0)
+        assert registry.hit_counts["my_subsystem_event"] == 1
+
+    def test_subscriber_exception_swallowed_and_counted(self):
+        registry = TracepointRegistry()
+
+        def bad(event):
+            raise RuntimeError("hook bug")
+
+        good_events = []
+        registry.subscribe("readahead", bad)
+        registry.subscribe("readahead", good_events.append)
+        registry.emit("readahead", 0.0)  # must not raise
+        assert registry.subscriber_errors == 1
+        assert len(good_events) == 1  # later hooks still run
+
+    def test_reset_counts(self):
+        registry = TracepointRegistry()
+        registry.emit("readahead", 0.0)
+        registry.reset_counts()
+        assert registry.total_hits == 0
+
+
+class TestBlockRaSetTracepoint:
+    def test_set_readahead_emits_event(self):
+        from repro.os_sim import make_stack
+
+        stack = make_stack("nvme", ra_pages=128)
+        events = []
+        stack.tracepoints.subscribe("block_ra_set", events.append)
+        stack.set_readahead(64)
+        assert events[0].fields == {"value": 64}
+        assert stack.block.ra_pages == 64

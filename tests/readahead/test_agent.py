@@ -1,0 +1,220 @@
+"""Tests for the closed-loop agent and the RL tuner."""
+
+import numpy as np
+import pytest
+
+from repro.os_sim import make_stack
+from repro.readahead.agent import ReadaheadAgent
+from repro.readahead.model import ReadaheadClassifier, WORKLOAD_CLASSES
+from repro.readahead.rl import BanditReadaheadTuner
+from repro.readahead.tuning import TuningTable
+from repro.runtime.circular_buffer import CircularBuffer
+
+from .test_models import synthetic_dataset
+
+
+@pytest.fixture
+def trained_deployable():
+    x, y = synthetic_dataset()
+    clf = ReadaheadClassifier(rng=np.random.default_rng(0), epochs=150).fit(x, y)
+    return clf.to_deployable()
+
+
+@pytest.fixture
+def tuning():
+    table = TuningTable()
+    for workload, ra in (
+        ("readseq", 32),
+        ("readrandom", 8),
+        ("readreverse", 32),
+        ("readrandomwriterandom", 8),
+    ):
+        table.set("nvme", workload, ra)
+    return table
+
+
+def feed_random_pattern(stack, rng, n=300):
+    for page in rng.integers(0, 100_000, size=n):
+        stack.tracepoints.emit(
+            "mark_page_accessed", stack.now, ino=1, page=int(page)
+        )
+
+
+class TestAgent:
+    def test_tick_classifies_and_actuates(self, trained_deployable, tuning):
+        stack = make_stack("nvme", ra_pages=128)
+        agent = ReadaheadAgent(stack, trained_deployable, tuning, "nvme")
+        rng = np.random.default_rng(1)
+        # Fabricate a readrandom-looking window: ~37k events, huge deltas.
+        feed_random_pattern(stack, rng, n=500)
+        decision = agent.on_tick(0.1, 1000.0)
+        assert decision.predicted_name in WORKLOAD_CLASSES
+        assert stack.block.ra_pages == decision.ra_pages
+        assert len(agent.history) == 1
+
+    def test_per_file_actuation(self, trained_deployable, tuning):
+        stack = make_stack("nvme", ra_pages=128)
+        handle = stack.fs.open("f", create=True)
+        agent = ReadaheadAgent(
+            stack, trained_deployable, tuning, "nvme", files=[handle]
+        )
+        agent.apply(8)
+        assert handle.ra_override == 8
+        assert stack.block.ra_pages == 8
+
+    def test_track_file(self, trained_deployable, tuning):
+        stack = make_stack("nvme", ra_pages=128)
+        agent = ReadaheadAgent(stack, trained_deployable, tuning, "nvme")
+        handle = stack.fs.open("f", create=True)
+        agent.track_file(handle)
+        agent.apply(16)
+        assert handle.ra_override == 16
+
+    def test_sample_buffer_receives_snapshots(self, trained_deployable, tuning):
+        stack = make_stack("nvme", ra_pages=128)
+        buffer = CircularBuffer(16)
+        agent = ReadaheadAgent(
+            stack, trained_deployable, tuning, "nvme", sample_buffer=buffer
+        )
+        feed_random_pattern(stack, np.random.default_rng(2), n=50)
+        agent.on_tick(0.1, 10.0)
+        assert len(buffer) == 1
+        sample = buffer.pop()
+        assert sample.shape == (5,)
+
+    def test_ra_timeline_matches_history(self, trained_deployable, tuning):
+        stack = make_stack("nvme", ra_pages=128)
+        agent = ReadaheadAgent(stack, trained_deployable, tuning, "nvme")
+        for t in (0.1, 0.2, 0.3):
+            feed_random_pattern(stack, np.random.default_rng(3), n=50)
+            agent.on_tick(t, 1.0)
+        timeline = agent.ra_timeline
+        assert [t for t, _ in timeline] == [0.1, 0.2, 0.3]
+
+    def test_smoothing_majority_vote(self, tuning):
+        """With smoothing=3, one outlier prediction must not actuate."""
+
+        class FixedModel:
+            def __init__(self):
+                self.sequence = [1, 1, 2, 1]  # readrandom x2, reverse, random
+                self.calls = 0
+
+            def predict_classes(self, x, dtype=None):
+                value = self.sequence[min(self.calls, len(self.sequence) - 1)]
+                self.calls += 1
+                return np.array([value])
+
+        stack = make_stack("nvme", ra_pages=128)
+        agent = ReadaheadAgent(
+            stack, FixedModel(), tuning, "nvme", smoothing=3
+        )
+        decisions = [agent.on_tick(t, 1.0) for t in (0.1, 0.2, 0.3, 0.4)]
+        # Tick 3 predicts readreverse but the majority is readrandom.
+        assert decisions[2].predicted_name == "readrandom"
+
+    def test_smoothing_validation(self, trained_deployable, tuning):
+        stack = make_stack("nvme", ra_pages=128)
+        with pytest.raises(ValueError):
+            ReadaheadAgent(stack, trained_deployable, tuning, "nvme", smoothing=0)
+
+    def test_mean_inference_time_recorded(self, trained_deployable, tuning):
+        stack = make_stack("nvme", ra_pages=128)
+        agent = ReadaheadAgent(stack, trained_deployable, tuning, "nvme")
+        feed_random_pattern(stack, np.random.default_rng(4), n=50)
+        agent.on_tick(0.1, 1.0)
+        assert agent.mean_inference_wall_s > 0
+
+    def test_detach_stops_observing(self, trained_deployable, tuning):
+        stack = make_stack("nvme", ra_pages=128)
+        agent = ReadaheadAgent(stack, trained_deployable, tuning, "nvme")
+        agent.detach()
+        feed_random_pattern(stack, np.random.default_rng(5), n=50)
+        assert agent.collector.events_seen == 0
+
+
+class TestBandit:
+    def test_plays_every_arm_first(self):
+        stack = make_stack("nvme", ra_pages=128)
+        tuner = BanditReadaheadTuner(stack, arms=(8, 32, 128))
+        chosen = {tuner.on_tick(t, 100.0) for t in np.arange(0.1, 0.5, 0.1)}
+        assert chosen == {8, 32, 128}
+
+    def test_converges_to_best_arm(self):
+        stack = make_stack("nvme", ra_pages=128)
+        tuner = BanditReadaheadTuner(stack, arms=(8, 32, 128), exploration=0.4)
+        rewards = {8: 1000.0, 32: 400.0, 128: 150.0}
+        arm = tuner.on_tick(0.0, 0.0)
+        for step in range(1, 200):
+            arm = tuner.on_tick(step * 0.1, rewards[arm])
+        assert tuner.best_arm == 8
+        # Late-phase choices should mostly be the best arm.
+        late = [a for _, a in tuner.history[-50:]]
+        assert late.count(8) > 35
+
+    def test_actuates_stack(self):
+        stack = make_stack("nvme", ra_pages=128)
+        tuner = BanditReadaheadTuner(stack, arms=(16, 64))
+        arm = tuner.on_tick(0.1, 1.0)
+        assert stack.block.ra_pages == arm
+
+    def test_validation(self):
+        stack = make_stack("nvme")
+        with pytest.raises(ValueError):
+            BanditReadaheadTuner(stack, arms=(8,))
+        with pytest.raises(ValueError):
+            BanditReadaheadTuner(stack, exploration=0.0)
+
+    def test_arm_means_exposed(self):
+        stack = make_stack("nvme")
+        tuner = BanditReadaheadTuner(stack, arms=(8, 32))
+        tuner.on_tick(0.0, 0.0)
+        tuner.on_tick(0.1, 50.0)
+        means = tuner.arm_means()
+        assert set(means) == {8, 32}
+
+
+class TestConfidenceGate:
+    class _Model:
+        """Emits fixed logits so confidence is controllable."""
+
+        def __init__(self, logits):
+            self._logits = np.asarray(logits, dtype=np.float64)
+
+        def predict(self, x, dtype=None):
+            from repro.kml.matrix import Matrix
+
+            return Matrix(self._logits, dtype="float64")
+
+        def predict_classes(self, x, dtype=None):
+            return np.array([int(np.argmax(self._logits))])
+
+    def test_low_confidence_keeps_current_ra(self, tuning):
+        stack = make_stack("nvme", ra_pages=128)
+        # Near-uniform logits: max softmax prob ~0.25.
+        agent = ReadaheadAgent(
+            stack, self._Model([[0.0, 0.01, 0.0, 0.0]]), tuning, "nvme",
+            confidence_threshold=0.9,
+        )
+        decision = agent.on_tick(0.1, 1.0)
+        assert stack.block.ra_pages == 128  # untouched
+        assert decision.ra_pages == 128
+        assert agent.skipped_low_confidence == 1
+
+    def test_high_confidence_actuates(self, tuning):
+        stack = make_stack("nvme", ra_pages=128)
+        agent = ReadaheadAgent(
+            stack, self._Model([[0.0, 50.0, 0.0, 0.0]]), tuning, "nvme",
+            confidence_threshold=0.9,
+        )
+        decision = agent.on_tick(0.1, 1.0)
+        assert decision.predicted_name == "readrandom"
+        assert stack.block.ra_pages == tuning.best_ra("nvme", "readrandom")
+        assert agent.skipped_low_confidence == 0
+
+    def test_threshold_validation(self, trained_deployable, tuning):
+        stack = make_stack("nvme", ra_pages=128)
+        with pytest.raises(ValueError):
+            ReadaheadAgent(
+                stack, trained_deployable, tuning, "nvme",
+                confidence_threshold=1.0,
+            )

@@ -1,0 +1,79 @@
+"""Tests for the tuning table and readahead sweep machinery."""
+
+import pytest
+
+from repro.readahead.tuning import (
+    DEFAULT_TUNING_TABLE,
+    PAPER_RA_VALUES,
+    SweepResult,
+    TuningTable,
+)
+
+
+class TestPaperRaValues:
+    def test_twenty_values_8_to_1024(self):
+        assert len(PAPER_RA_VALUES) == 20
+        assert PAPER_RA_VALUES[0] == 8
+        assert PAPER_RA_VALUES[-1] == 1024
+        assert list(PAPER_RA_VALUES) == sorted(PAPER_RA_VALUES)
+
+
+class TestTuningTable:
+    def test_set_and_lookup(self):
+        table = TuningTable()
+        table.set("nvme", "readrandom", 8)
+        assert table.best_ra("nvme", "readrandom") == 8
+
+    def test_missing_entry_raises(self):
+        with pytest.raises(KeyError):
+            TuningTable().best_ra("nvme", "readseq")
+
+    def test_json_round_trip(self):
+        table = TuningTable()
+        table.set("ssd", "readseq", 64)
+        table.set("ssd", "readrandom", 8)
+        clone = TuningTable.from_json(table.to_json())
+        assert clone.best_ra("ssd", "readseq") == 64
+        assert clone.best_ra("ssd", "readrandom") == 8
+
+    def test_file_round_trip(self, tmp_path):
+        table = TuningTable()
+        table.set("nvme", "mixgraph", 16)
+        path = str(tmp_path / "tuning.json")
+        table.save(path)
+        assert TuningTable.load(path).best_ra("nvme", "mixgraph") == 16
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ValueError):
+            TuningTable.from_json("[1, 2]")
+
+    def test_default_covers_both_devices_all_classes(self):
+        for device in ("nvme", "ssd"):
+            for workload in (
+                "readseq",
+                "readrandom",
+                "readreverse",
+                "readrandomwriterandom",
+            ):
+                ra = DEFAULT_TUNING_TABLE.best_ra(device, workload)
+                assert 8 <= ra <= 1024
+
+    def test_default_prefers_small_ra_for_random(self):
+        for device in ("nvme", "ssd"):
+            random_ra = DEFAULT_TUNING_TABLE.best_ra(device, "readrandom")
+            seq_ra = DEFAULT_TUNING_TABLE.best_ra(device, "readseq")
+            assert random_ra <= seq_ra
+
+
+class TestSweepResult:
+    def test_best_ra_picks_argmax(self):
+        result = SweepResult(device="nvme")
+        result.throughput["w"] = {8: 100.0, 64: 300.0, 512: 50.0}
+        assert result.best_ra("w") == 64
+
+    def test_rows_sorted(self):
+        result = SweepResult(device="nvme")
+        result.throughput["b"] = {64: 1.0, 8: 2.0}
+        result.throughput["a"] = {8: 3.0}
+        rows = result.rows()
+        assert rows == [("a", 8, 3.0), ("b", 8, 2.0), ("b", 64, 1.0)]

@@ -1,0 +1,93 @@
+"""Tests for atomic primitives under real threads."""
+
+import threading
+
+from repro.runtime.atomics import AtomicFlag, AtomicInt
+
+
+class TestAtomicInt:
+    def test_load_store(self):
+        atom = AtomicInt(5)
+        assert atom.load() == 5
+        atom.store(9)
+        assert atom.load() == 9
+
+    def test_fetch_add_returns_previous(self):
+        atom = AtomicInt(10)
+        assert atom.fetch_add(3) == 10
+        assert atom.load() == 13
+
+    def test_add_fetch_returns_new(self):
+        atom = AtomicInt(10)
+        assert atom.add_fetch(3) == 13
+
+    def test_fetch_sub(self):
+        atom = AtomicInt(10)
+        assert atom.fetch_sub(4) == 10
+        assert atom.load() == 6
+
+    def test_cas_success_and_failure(self):
+        atom = AtomicInt(1)
+        assert atom.compare_exchange(1, 2)
+        assert atom.load() == 2
+        assert not atom.compare_exchange(1, 3)
+        assert atom.load() == 2
+
+    def test_concurrent_increments_never_lost(self):
+        atom = AtomicInt(0)
+        n, threads = 10_000, 8
+
+        def work():
+            for _ in range(n):
+                atom.fetch_add(1)
+
+        workers = [threading.Thread(target=work) for _ in range(threads)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        assert atom.load() == n * threads
+
+    def test_concurrent_cas_exactly_one_winner(self):
+        atom = AtomicInt(0)
+        winners = []
+
+        def race(tid):
+            if atom.compare_exchange(0, tid):
+                winners.append(tid)
+
+        workers = [threading.Thread(target=race, args=(i + 1,)) for i in range(16)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        assert len(winners) == 1
+        assert atom.load() == winners[0]
+
+
+class TestAtomicFlag:
+    def test_test_and_set(self):
+        flag = AtomicFlag()
+        assert not flag.test_and_set()
+        assert flag.test_and_set()
+        assert flag.is_set()
+
+    def test_clear(self):
+        flag = AtomicFlag(True)
+        flag.clear()
+        assert not flag.is_set()
+
+    def test_only_one_thread_acquires(self):
+        flag = AtomicFlag()
+        acquirers = []
+
+        def attempt(tid):
+            if not flag.test_and_set():
+                acquirers.append(tid)
+
+        workers = [threading.Thread(target=attempt, args=(i,)) for i in range(16)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        assert len(acquirers) == 1

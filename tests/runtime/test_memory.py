@@ -1,0 +1,105 @@
+"""Tests for memory accounting and reservation."""
+
+import pytest
+
+from repro.kml.matrix import Matrix
+from repro.runtime.memory import KmlMemoryError, MemoryAccountant
+
+
+class TestAccounting:
+    def test_allocate_and_free(self):
+        acc = MemoryAccountant()
+        allocation = acc.allocate(100)
+        assert acc.in_use == 100
+        allocation.free()
+        assert acc.in_use == 0
+
+    def test_peak_tracks_high_water(self):
+        acc = MemoryAccountant()
+        a = acc.allocate(100)
+        b = acc.allocate(50)
+        a.free()
+        acc.allocate(10)
+        assert acc.peak == 150
+        assert acc.in_use == 60
+        b.free()
+
+    def test_double_free_rejected(self):
+        acc = MemoryAccountant()
+        allocation = acc.allocate(8)
+        allocation.free()
+        with pytest.raises(KmlMemoryError, match="double free"):
+            allocation.free()
+
+    def test_buffer_is_zeroed_and_sized(self):
+        allocation = MemoryAccountant().allocate(16)
+        assert len(allocation.buffer) == 16
+        assert bytes(allocation.buffer) == b"\x00" * 16
+
+    def test_counters(self):
+        acc = MemoryAccountant()
+        acc.allocate(10).free()
+        acc.allocate(20)
+        stats = acc.stats()
+        assert stats["total_allocated"] == 30
+        assert stats["allocation_count"] == 2
+        assert stats["in_use"] == 20
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryAccountant().allocate(-1)
+
+    def test_reset_peak(self):
+        acc = MemoryAccountant()
+        a = acc.allocate(100)
+        a.free()
+        acc.reset_peak()
+        assert acc.peak == 0
+
+
+class TestReservation:
+    def test_over_reservation_fails_fast(self):
+        acc = MemoryAccountant(reservation=100)
+        acc.allocate(80)
+        with pytest.raises(KmlMemoryError, match="reservation"):
+            acc.allocate(21)
+        assert acc.failed_allocations == 1
+
+    def test_exact_fit_allowed(self):
+        acc = MemoryAccountant(reservation=100)
+        acc.allocate(100)
+        assert acc.in_use == 100
+
+    def test_free_restores_budget(self):
+        acc = MemoryAccountant(reservation=100)
+        a = acc.allocate(100)
+        a.free()
+        acc.allocate(100)  # must not raise
+
+    def test_no_reservation_means_unbounded(self):
+        acc = MemoryAccountant()
+        acc.allocate(10**9)  # fine: accounting only
+
+    def test_negative_reservation_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryAccountant(reservation=-1)
+
+
+class TestMatrixObservation:
+    def test_observer_counts_matrix_traffic(self):
+        acc = MemoryAccountant()
+        with acc:
+            Matrix.zeros(10, 10, dtype="float32")
+            Matrix.zeros(10, 10, dtype="float64")
+        # at least data buffers: 400 + 800 (grad buffers not created here)
+        assert acc.total_allocated >= 1200
+        # After the with-block, traffic stops being counted.
+        before = acc.total_allocated
+        Matrix.zeros(10, 10)
+        assert acc.total_allocated == before
+
+    def test_observed_traffic_leaves_in_use_zero(self):
+        acc = MemoryAccountant()
+        with acc:
+            Matrix.zeros(5, 5)
+        assert acc.in_use == 0

@@ -1,0 +1,99 @@
+"""Tests for the KML telemetry aggregator."""
+
+import pytest
+
+from repro.os_sim import make_stack
+from repro.runtime import (
+    AsyncTrainer,
+    CircularBuffer,
+    KmlTelemetry,
+    MemoryAccountant,
+)
+
+
+@pytest.fixture
+def full_telemetry():
+    buffer = CircularBuffer(8)
+    trainer = AsyncTrainer(buffer, train_fn=lambda batch: None)
+    memory = MemoryAccountant(reservation=1024)
+    stack = make_stack("nvme")
+    return KmlTelemetry(buffer, trainer, memory, stack.tracepoints), buffer, \
+        trainer, memory, stack
+
+
+class TestSnapshot:
+    def test_empty_telemetry(self):
+        telemetry = KmlTelemetry()
+        assert telemetry.snapshot() == {}
+        assert "no components" in telemetry.format_report()
+        assert telemetry.healthy()
+
+    def test_buffer_counters(self, full_telemetry):
+        telemetry, buffer, *_ = full_telemetry
+        for i in range(10):
+            buffer.push(i)  # 2 dropped (capacity 8)
+        snap = telemetry.snapshot()["buffer"]
+        assert snap["pushed"] == 8
+        assert snap["dropped"] == 2
+        assert snap["occupancy"] == 8
+        assert snap["drop_rate"] == pytest.approx(0.2)
+
+    def test_trainer_counters(self, full_telemetry):
+        telemetry, buffer, trainer, *_ = full_telemetry
+        with trainer:
+            buffer.push("x")
+        snap = telemetry.snapshot()["trainer"]
+        assert snap["samples_seen"] == 1
+        assert snap["mode"] == "training"
+        assert not telemetry.snapshot()["trainer"]["running"]
+
+    def test_memory_counters(self, full_telemetry):
+        telemetry, _, _, memory, _ = full_telemetry
+        memory.allocate(100)
+        snap = telemetry.snapshot()["memory"]
+        assert snap["in_use"] == 100
+        assert snap["reservation"] == 1024
+
+    def test_tracepoint_counters(self, full_telemetry):
+        telemetry, *_, stack = full_telemetry
+        stack.tracepoints.emit("readahead", 0.0, ino=1, start=0, count=1,
+                               is_async=False)
+        snap = telemetry.snapshot()["tracepoints"]
+        assert snap["total"] == 1
+        assert snap["by_name"]["readahead"] == 1
+
+
+class TestHealth:
+    def test_drop_rate_trips_health(self, full_telemetry):
+        telemetry, buffer, *_ = full_telemetry
+        for i in range(20):
+            buffer.push(i)
+        assert not telemetry.healthy(max_drop_rate=0.01)
+        assert telemetry.healthy(max_drop_rate=0.9)
+
+    def test_failed_allocations_trip_health(self, full_telemetry):
+        telemetry, _, _, memory, _ = full_telemetry
+        try:
+            memory.allocate(10_000)
+        except Exception:
+            pass
+        assert not telemetry.healthy()
+
+    def test_hook_errors_trip_health(self, full_telemetry):
+        telemetry, *_, stack = full_telemetry
+
+        def bad(event):
+            raise RuntimeError
+
+        stack.tracepoints.subscribe("readahead", bad)
+        stack.tracepoints.emit("readahead", 0.0)
+        assert not telemetry.healthy()
+
+    def test_report_mentions_components(self, full_telemetry):
+        telemetry, buffer, *_ = full_telemetry
+        buffer.push(1)
+        report = telemetry.format_report()
+        assert "buffer" in report
+        assert "trainer" in report
+        assert "memory" in report
+        assert "traces" in report

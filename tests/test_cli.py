@@ -1,0 +1,113 @@
+"""Tests for the command-line interface (miniature end-to-end runs)."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        for command in ("collect", "train", "sweep", "run", "inspect"):
+            args = {
+                "collect": ["collect", "--output", "x.npz"],
+                "train": ["train", "--data", "d.npz", "--output", "m.kml"],
+                "sweep": ["sweep", "--output", "t.json"],
+                "run": ["run", "--model", "m.kml", "--tuning", "t.json"],
+                "inspect": ["inspect", "m.kml"],
+            }[command]
+            assert parser.parse_args(args).command == command
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    """Run the whole CLI pipeline once at tiny scale."""
+    root = tmp_path_factory.mktemp("cli")
+    data = str(root / "data.npz")
+    model = str(root / "model.kml")
+    tree = str(root / "tree.kml")
+    tuning = str(root / "tuning.json")
+
+    tiny = [
+        "--num-keys", "4000", "--value-size", "200", "--cache-pages", "128",
+    ]
+    assert main(["collect", "--output", data, "--windows-per-value", "2",
+                 *tiny]) == 0
+    assert main(["train", "--data", data, "--output", model,
+                 "--epochs", "150", "--kfold", "3"]) == 0
+    assert main(["train", "--data", data, "--output", tree,
+                 "--model", "tree"]) == 0
+    assert main(["sweep", "--output", tuning, "--devices", "nvme",
+                 "--ra-values", "8,128", "--ops-per-point", "300",
+                 *tiny]) == 0
+    return {"data": data, "model": model, "tree": tree, "tuning": tuning,
+            "tiny": tiny}
+
+
+class TestPipeline:
+    def test_collect_writes_labeled_npz(self, workspace):
+        blob = np.load(workspace["data"])
+        assert blob["x"].shape[1] == 5
+        assert len(blob["x"]) == len(blob["y"])
+        assert set(np.unique(blob["y"])) <= {0, 1, 2, 3}
+
+    def test_train_writes_loadable_model(self, workspace):
+        from repro.kml import Sequential, load_model
+
+        model = load_model(workspace["model"])
+        assert isinstance(model, Sequential)
+        # Deployable: the normalizer is fused as the first layer.
+        assert model.layers[0].name == "zscore"
+
+    def test_tree_model_written(self, workspace):
+        from repro.kml import DecisionTreeClassifier, load_model
+
+        assert isinstance(load_model(workspace["tree"]), DecisionTreeClassifier)
+
+    def test_sweep_writes_tuning_json(self, workspace):
+        table = json.load(open(workspace["tuning"]))
+        assert set(table["nvme"]) == {
+            "readseq", "readrandom", "readreverse", "readrandomwriterandom",
+        }
+        assert all(v in (8, 128) for v in table["nvme"].values())
+
+    def test_run_closed_loop(self, workspace, capsys):
+        code = main([
+            "run", "--model", workspace["model"],
+            "--tuning", workspace["tuning"],
+            "--workload", "readrandom", "--sim-seconds", "0.4",
+            *workspace["tiny"],
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "vanilla" in out and "KML closed loop" in out
+
+    def test_inspect_nn(self, workspace, capsys):
+        assert main(["inspect", workspace["model"]]) == 0
+        assert "Sequential" in capsys.readouterr().out
+
+    def test_inspect_tree(self, workspace, capsys):
+        assert main(["inspect", workspace["tree"]]) == 0
+        assert "DecisionTreeClassifier" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_report_assembles_results(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "table2.txt").write_text("Table 2 reproduction\nrow")
+        assert main(["report", "--results-dir", str(results)]) == 0
+        out = capsys.readouterr().out
+        assert "table2.txt" in out and "Table 2 reproduction" in out
+
+    def test_report_empty_dir_fails(self, tmp_path, capsys):
+        assert main(["report", "--results-dir", str(tmp_path)]) == 1
+        assert "no results" in capsys.readouterr().out

@@ -1,0 +1,225 @@
+"""Tests for the db_bench-equivalent workloads and the runner."""
+
+import numpy as np
+import pytest
+
+from repro.minikv import DBOptions, MiniKV
+from repro.os_sim import make_stack
+from repro.workloads import (
+    MixGraph,
+    ReadRandom,
+    ReadRandomWriteRandom,
+    ReadReverse,
+    ReadSeq,
+    UpdateRandom,
+    make_key,
+    populate_db,
+    run_workload,
+    workload_by_name,
+)
+
+
+NUM_KEYS = 500
+
+
+@pytest.fixture
+def loaded():
+    stack = make_stack("nvme", cache_pages=2048)
+    db = MiniKV(stack, DBOptions(memtable_bytes=16 * 1024))
+    populate_db(db, NUM_KEYS, 50, np.random.default_rng(0))
+    return stack, db
+
+
+class TestPopulate:
+    def test_all_keys_present(self, loaded):
+        _, db = loaded
+        assert db.get(make_key(0)) is not None
+        assert db.get(make_key(NUM_KEYS - 1)) is not None
+        assert len(list(db.scan())) == NUM_KEYS
+
+
+class TestWorkloadSemantics:
+    def test_readseq_iterates_in_order(self, loaded):
+        stack, db = loaded
+        workload = ReadSeq(NUM_KEYS)
+        workload.bind(db, np.random.default_rng(1))
+        gets_before = db.stats.seeks
+        for _ in range(10):
+            workload.step()
+        assert db.stats.seeks == gets_before + 1  # one iterator opened
+
+    def test_readseq_wraps_at_end(self, loaded):
+        stack, db = loaded
+        workload = ReadSeq(NUM_KEYS)
+        workload.bind(db, np.random.default_rng(1))
+        for _ in range(NUM_KEYS + 5):
+            workload.step()  # must not raise at wrap
+
+    def test_readrandom_issues_gets(self, loaded):
+        stack, db = loaded
+        workload = ReadRandom(NUM_KEYS)
+        workload.bind(db, np.random.default_rng(2))
+        for _ in range(50):
+            workload.step()
+        assert db.stats.gets == 50
+        assert db.stats.get_hits == 50  # keys all exist
+
+    def test_readreverse_descending(self, loaded):
+        stack, db = loaded
+        workload = ReadReverse(NUM_KEYS)
+        workload.bind(db, np.random.default_rng(3))
+        for _ in range(5):
+            workload.step()
+        # The underlying reverse scan starts from the largest key.
+
+    def test_rrwr_mixes_reads_and_writes(self, loaded):
+        stack, db = loaded
+        workload = ReadRandomWriteRandom(NUM_KEYS, read_fraction=0.5)
+        workload.bind(db, np.random.default_rng(4))
+        for _ in range(200):
+            workload.step()
+        assert db.stats.gets > 50
+        assert db.stats.puts > NUM_KEYS  # populate + workload writes
+
+    def test_rrwr_read_fraction_extremes(self, loaded):
+        stack, db = loaded
+        pure_reader = ReadRandomWriteRandom(NUM_KEYS, read_fraction=1.0)
+        pure_reader.bind(db, np.random.default_rng(5))
+        puts_before = db.stats.puts
+        for _ in range(50):
+            pure_reader.step()
+        assert db.stats.puts == puts_before
+
+    def test_updaterandom_preserves_value_size(self, loaded):
+        stack, db = loaded
+        workload = UpdateRandom(NUM_KEYS)
+        workload.bind(db, np.random.default_rng(6))
+        for _ in range(50):
+            workload.step()
+        value = db.get(make_key(3))
+        assert value is not None and len(value) == 50
+
+    def test_mixgraph_runs_all_op_kinds(self, loaded):
+        stack, db = loaded
+        workload = MixGraph(NUM_KEYS, get_ratio=0.5, put_ratio=0.3)
+        workload.bind(db, np.random.default_rng(7))
+        seeks_before = db.stats.seeks
+        for _ in range(300):
+            workload.step()
+        assert db.stats.gets > 0
+        assert db.stats.seeks > seeks_before  # range scans happened
+
+    def test_mixgraph_hot_keys_skewed(self, loaded):
+        stack, db = loaded
+        workload = MixGraph(NUM_KEYS, zipf_alpha=1.2)
+        workload.bind(db, np.random.default_rng(8))
+        indices = [workload._sample_key_index() for _ in range(5000)]
+        counts = np.bincount(indices, minlength=NUM_KEYS)
+        # Top-10 hottest keys carry a disproportionate share.
+        assert np.sort(counts)[-10:].sum() > 0.2 * len(indices)
+
+    def test_mixgraph_validation(self):
+        with pytest.raises(ValueError):
+            MixGraph(100, get_ratio=0.9, put_ratio=0.3)
+
+    def test_workload_by_name(self):
+        for name in ("readseq", "readrandom", "readreverse",
+                     "readrandomwriterandom", "updaterandom", "mixgraph"):
+            assert workload_by_name(name, 100).name == name
+        with pytest.raises(ValueError):
+            workload_by_name("bogus", 100)
+
+    def test_base_validation(self):
+        with pytest.raises(ValueError):
+            ReadRandom(0)
+        with pytest.raises(ValueError):
+            ReadRandom(10, value_size=0)
+        with pytest.raises(ValueError):
+            ReadRandomWriteRandom(10, read_fraction=1.5)
+
+
+class TestRunner:
+    def test_throughput_positive(self, loaded):
+        stack, db = loaded
+        result = run_workload(
+            stack, db, ReadRandom(NUM_KEYS), 100, np.random.default_rng(9)
+        )
+        assert result.ops == 100
+        assert result.throughput > 0
+        assert result.elapsed > 0
+
+    def test_cpu_cost_charged(self, loaded):
+        stack, db = loaded
+        before = stack.now
+        run_workload(
+            stack, db, ReadRandom(NUM_KEYS), 50, np.random.default_rng(10),
+            cpu_op_s=1e-3,
+        )
+        assert stack.now - before >= 50e-3
+
+    def test_ticks_fire_per_interval(self, loaded):
+        stack, db = loaded
+        ticks = []
+        run_workload(
+            stack,
+            db,
+            ReadRandom(NUM_KEYS),
+            500,
+            np.random.default_rng(11),
+            cpu_op_s=1e-3,  # 500 ops -> >= 0.5 simulated seconds
+            tick_interval=0.1,
+            on_tick=lambda t, rate: ticks.append((t, rate)),
+        )
+        assert len(ticks) >= 4
+        times = [t for t, _ in ticks]
+        np.testing.assert_allclose(np.diff(times), 0.1, atol=1e-9)
+
+    def test_timeline_matches_ticks(self, loaded):
+        stack, db = loaded
+        result = run_workload(
+            stack, db, ReadRandom(NUM_KEYS), 300, np.random.default_rng(12),
+            cpu_op_s=1e-3, tick_interval=0.1,
+        )
+        assert len(result.timeline) >= 2
+        # Rates in the timeline are ops per second within each window.
+        for _, rate in result.timeline:
+            assert 0 <= rate <= 1e5
+
+    def test_max_sim_seconds_stops_early(self, loaded):
+        stack, db = loaded
+        result = run_workload(
+            stack, db, ReadRandom(NUM_KEYS), 10**6, np.random.default_rng(13),
+            cpu_op_s=1e-3, max_sim_seconds=0.05,
+        )
+        assert result.ops < 10**6
+        assert result.elapsed == pytest.approx(0.05, rel=0.2)
+
+    def test_validation(self, loaded):
+        stack, db = loaded
+        with pytest.raises(ValueError):
+            run_workload(stack, db, ReadRandom(10), 0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            run_workload(
+                stack, db, ReadRandom(10), 10, np.random.default_rng(0),
+                tick_interval=0,
+            )
+
+
+class TestFillRandom:
+    def test_puts_random_keys(self, loaded):
+        stack, db = loaded
+        from repro.workloads import FillRandom
+
+        workload = FillRandom(NUM_KEYS, value_size=64)
+        workload.bind(db, np.random.default_rng(20))
+        puts_before = db.stats.puts
+        gets_before = db.stats.gets
+        for _ in range(50):
+            workload.step()
+        assert db.stats.puts == puts_before + 50
+        assert db.stats.gets == gets_before  # pure writer
+
+    def test_factory_name(self):
+        from repro.workloads import workload_by_name
+
+        assert workload_by_name("fillrandom", 100).name == "fillrandom"
