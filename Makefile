@@ -1,12 +1,18 @@
 # Convenience targets for the KML reproduction.
 
-.PHONY: install test bench report clean
+.PHONY: install test obs-check bench report clean
 
 install:
 	pip install -e . || python setup.py develop
 
-test:
+test: obs-check
 	pytest tests/
+
+# Observability gate: the obs unit tests plus the instrumentation
+# overhead budget (smoke mode; see docs/OBSERVABILITY.md).
+obs-check:
+	pytest tests/obs/ -q
+	python benchmarks/bench_obs_overhead.py --smoke
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -7,6 +7,7 @@ Subcommands mirror the paper's workflow stages:
     repro sweep      build the workload -> best-readahead table
     repro run        run a workload vanilla vs with the KML agent
     repro inspect    describe a saved .kml model file
+    repro obs        run a workload fully instrumented; export metrics
 
 Invoke as ``python -m repro <subcommand> --help``.
 """
@@ -76,6 +77,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     inspect = sub.add_parser("inspect", help="describe a .kml model file")
     inspect.add_argument("path")
+
+    obs = sub.add_parser(
+        "obs",
+        help="run a workload with full observability and export the metrics",
+    )
+    obs.add_argument("--workload", default="readrandom")
+    obs.add_argument("--device", default="nvme", choices=("nvme", "ssd"))
+    obs.add_argument("--num-keys", type=int, default=8_000)
+    obs.add_argument("--value-size", type=int, default=200)
+    obs.add_argument("--cache-pages", type=int, default=256)
+    obs.add_argument("--sim-seconds", type=float, default=0.5)
+    obs.add_argument("--pipeline-cycles", type=int, default=32,
+                     help="traced tracepoint->train->infer cycles to run")
+    obs.add_argument("--prom-out", default=None,
+                     help="also write the Prometheus text export here")
+    obs.add_argument("--jsonl-out", default=None,
+                     help="also write a JSONL dump (metrics + spans) here")
+    obs.add_argument("--seed", type=int, default=42)
 
     report = sub.add_parser(
         "report", help="assemble benchmark results into one summary"
@@ -249,6 +268,118 @@ def _cmd_inspect(args) -> int:
     return 0
 
 
+def _cmd_obs(args) -> int:
+    """Run a workload + a traced ML pipeline under full instrumentation."""
+    from .kml import CrossEntropyLoss, SGD
+    from .kml.matrix import Matrix
+    from .minikv import DBOptions, MiniKV
+    from .obs import (
+        MetricsRegistry,
+        PipelineTrace,
+        Tracer,
+        dump_jsonl,
+        format_report,
+        instrument_buffer,
+        instrument_matrix_ops,
+        instrument_minikv,
+        instrument_network,
+        instrument_stack,
+        instrument_trainer,
+        prometheus_text,
+    )
+    from .os_sim import make_stack
+    from .readahead.model import build_network
+    from .runtime import AsyncTrainer, CircularBuffer
+    from .workloads import populate_db, run_workload, workload_by_name
+
+    registry = MetricsRegistry()
+    tracer = Tracer(max_spans=4096)
+    pipeline = PipelineTrace(tracer)
+    rng = np.random.default_rng(args.seed)
+
+    detach_matrix = instrument_matrix_ops(registry)
+    detach_network = instrument_network(registry)
+    try:
+        # -- storage side: an instrumented stack + DB running a workload
+        stack = make_stack(args.device, cache_pages=args.cache_pages)
+        instrument_stack(stack, registry)
+        db = MiniKV(stack, DBOptions(memtable_bytes=8 << 20))
+        instrument_minikv(db, registry)
+        populate_db(db, args.num_keys, args.value_size, rng)
+        stack.set_readahead(128)
+        stack.drop_caches()
+        workload = workload_by_name(
+            args.workload, args.num_keys, args.value_size
+        )
+        result = run_workload(
+            stack, db, workload, n_ops=10**9,
+            rng=np.random.default_rng(args.seed + 1),
+            tick_interval=0.1, max_sim_seconds=args.sim_seconds,
+        )
+        print(
+            f"workload {args.workload} on {args.device}: "
+            f"{result.ops} ops in {result.elapsed:.2f} simulated s "
+            f"({result.throughput:,.0f} ops/s)"
+        )
+
+        # -- ML side: the async tracepoint->buffer->train pipeline
+        network = build_network(rng=np.random.default_rng(args.seed))
+        loss_fn = CrossEntropyLoss()
+        optimizer = SGD(network.parameters(), lr=0.01)
+
+        def train_fn(batch):
+            x = Matrix(np.stack([features for features, _ in batch]))
+            labels = [label for _, label in batch]
+            network.train_step(x, labels, loss_fn, optimizer)
+
+        buffer = CircularBuffer(1024)
+        instrument_buffer(buffer, registry)
+        trainer = AsyncTrainer(buffer, train_fn, batch_size=16,
+                               poll_interval=0.0005)
+        instrument_trainer(trainer, registry)
+        n_samples = 128
+        with trainer:
+            for _ in range(n_samples):
+                buffer.push((rng.normal(size=5), int(rng.integers(0, 4))))
+        # trainer.stop() (via the context manager) drains the ring.
+
+        # -- traced cycles: one causally-linked trace per data cycle
+        for i in range(args.pipeline_cycles):
+            features = rng.normal(size=5)
+            label = int(rng.integers(0, 4))
+            with pipeline.cycle(cycle=i):
+                with pipeline.stage("tracepoint_emit"):
+                    stack.tracepoints.emit(
+                        "mark_page_accessed", stack.now, ino=1, page=i
+                    )
+                with pipeline.stage("buffer_push"):
+                    buffer.push((features, label))
+                with pipeline.stage("buffer_pop"):
+                    batch = buffer.drain(1)
+                with pipeline.stage("train_batch"):
+                    train_fn(batch)
+                with pipeline.stage("inference"):
+                    network.predict_classes(features.reshape(1, -1))
+
+        print()
+        print(format_report(registry, tracer=tracer, pipeline=pipeline))
+        prom = prometheus_text(registry)
+        print()
+        print("# ---- Prometheus text exposition ----")
+        print(prom, end="")
+        if args.prom_out:
+            with open(args.prom_out, "w") as f:
+                f.write(prom)
+            print(f"wrote {args.prom_out}")
+        if args.jsonl_out:
+            n = dump_jsonl(registry, args.jsonl_out, tracer=tracer)
+            print(f"wrote {args.jsonl_out} ({n} records)")
+    finally:
+        detach_matrix()
+        detach_network()
+    return 0
+
+
 def _cmd_report(args) -> int:
     import glob
     import os
@@ -281,6 +412,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "run": _cmd_run,
     "inspect": _cmd_inspect,
+    "obs": _cmd_obs,
     "report": _cmd_report,
 }
 

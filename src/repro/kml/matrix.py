@@ -19,6 +19,7 @@ the paper's memory-footprint measurements.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Optional, Tuple
 
 import numpy as np
@@ -26,7 +27,7 @@ import numpy as np
 from . import fixedpoint as fx
 from . import mathops
 
-__all__ = ["Matrix", "DTYPES", "set_alloc_observer"]
+__all__ = ["Matrix", "DTYPES", "set_alloc_observer", "set_op_observer"]
 
 DTYPES = ("float32", "float64", "fixed32")
 
@@ -39,6 +40,12 @@ _NUMPY_DTYPES = {
 # Installed by repro.runtime.memory to account matrix allocations.
 _alloc_observer: Optional[Callable[[int], None]] = None
 
+# Installed by repro.obs to count ops and their wall time.  Duck-typed
+# hook object: ``matmul_calls`` / ``sample_mask`` attributes (every op
+# is counted, one in ``sample_mask + 1`` is timed) and an
+# ``observe(op, seconds)`` method for the sampled timings.
+_op_observer = None
+
 
 def set_alloc_observer(observer: Optional[Callable[[int], None]]) -> None:
     """Install a callable invoked with the byte size of each allocation.
@@ -48,6 +55,16 @@ def set_alloc_observer(observer: Optional[Callable[[int], None]]) -> None:
     """
     global _alloc_observer
     _alloc_observer = observer
+
+
+def set_op_observer(observer) -> None:
+    """Install the op-timing hook object (see module comment above).
+
+    Only the compute-heavy ops report (currently ``matmul``).  Pass
+    ``None`` to remove; installed by ``repro.obs.instrument``.
+    """
+    global _op_observer
+    _op_observer = observer
 
 
 def _check_dtype(dtype: str) -> str:
@@ -265,10 +282,20 @@ class Matrix:
             raise ValueError(
                 f"matmul shape mismatch: {self.shape} @ {other.shape}"
             )
+        obs = _op_observer
+        t0 = 0.0
+        if obs is not None:
+            # Count every op; time one in sample_mask + 1.
+            n = obs.matmul_calls + 1
+            obs.matmul_calls = n
+            if not (n & obs.sample_mask):
+                t0 = time.perf_counter()
         if self._dtype == "fixed32":
             out = fx.fx_matmul(self._data, other._data)
         else:
             out = (self._data @ other._data).astype(self._data.dtype)
+        if t0:
+            obs.observe("matmul", time.perf_counter() - t0)
         return Matrix.from_raw(out, self._dtype)
 
     def transpose(self) -> "Matrix":

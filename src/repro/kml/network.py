@@ -10,7 +10,8 @@ autodiff tests.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+import time
+from typing import Callable, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -19,7 +20,17 @@ from .losses.base import Loss
 from .matrix import Matrix
 from .optimizers import Optimizer
 
-__all__ = ["Sequential"]
+__all__ = ["Sequential", "set_pass_observer"]
+
+# Installed by repro.obs to time graph traversals; called as
+# ``observer(phase, seconds)`` with phase "forward" or "backward".
+_pass_observer: Optional[Callable[[str, float], None]] = None
+
+
+def set_pass_observer(observer: Optional[Callable[[str, float], None]]) -> None:
+    """Install a per-traversal observer (``None`` removes it)."""
+    global _pass_observer
+    _pass_observer = observer
 
 
 class Sequential:
@@ -40,18 +51,26 @@ class Sequential:
 
     def forward(self, x: Matrix) -> Matrix:
         """Traverse the chain, feeding each output to the next layer."""
+        obs = _pass_observer
+        t0 = time.perf_counter() if obs is not None else 0.0
         out = x
         for layer in self.layers:
             out = layer.forward(out)
+        if obs is not None:
+            obs("forward", time.perf_counter() - t0)
         return out
 
     __call__ = forward
 
     def backward(self, grad_output: Matrix) -> Matrix:
         """Propagate gradients in reverse layer order."""
+        obs = _pass_observer
+        t0 = time.perf_counter() if obs is not None else 0.0
         grad = grad_output
         for layer in reversed(self.layers):
             grad = layer.backward(grad)
+        if obs is not None:
+            obs("backward", time.perf_counter() - t0)
         return grad
 
     # ------------------------------------------------------------------

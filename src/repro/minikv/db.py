@@ -10,6 +10,7 @@ the readahead case study observes.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Tuple
 
@@ -58,7 +59,16 @@ class MiniKV:
         self._l0: List[SSTableReader] = []  # newest first
         self._l1: List[SSTableReader] = []  # at most one table
         self._next_table_seq = 0
+        # Optional observability hooks (duck-typed; see repro.obs).
+        self._obs = None
         self._recover()
+
+    def attach_obs(self, hooks) -> None:
+        """Install an observability hook object (``repro.obs``)."""
+        self._obs = hooks
+
+    def detach_obs(self) -> None:
+        self._obs = None
 
     # ------------------------------------------------------------------
     # Recovery / manifest
@@ -109,11 +119,20 @@ class MiniKV:
 
     def put(self, key: bytes, value: bytes) -> None:
         self._check_key(key)
+        obs = self._obs
+        t0 = 0.0
+        if obs is not None:
+            n = obs.put_calls + 1
+            obs.put_calls = n
+            if not (n & obs.sample_mask):
+                t0 = time.perf_counter()
         if self.options.wal_enabled:
             self._wal.append(key, value)
         self._memtable.put(key, value)
         self.stats.puts += 1
         self._maybe_flush()
+        if t0:
+            obs.put_latency.observe(time.perf_counter() - t0)
 
     def delete(self, key: bytes) -> None:
         self._check_key(key)
@@ -156,6 +175,8 @@ class MiniKV:
     def _maybe_compact(self) -> None:
         if len(self._l0) <= self.options.l0_compaction_trigger:
             return
+        obs = self._obs
+        t0 = time.perf_counter() if obs is not None else 0.0
         inputs = self._l0 + self._l1  # newest first, L1 oldest
         out_name = self._new_table_name()
         merged = compact_tables(
@@ -171,6 +192,8 @@ class MiniKV:
         self._l1 = [merged]
         self.stats.compactions += 1
         self._write_manifest()
+        if obs is not None:
+            obs.compaction_seconds.observe(time.perf_counter() - t0)
 
     # ------------------------------------------------------------------
     # Reads
@@ -178,6 +201,13 @@ class MiniKV:
 
     def get(self, key: bytes) -> Optional[bytes]:
         self._check_key(key)
+        obs = self._obs
+        t0 = 0.0
+        if obs is not None:
+            n = obs.get_calls + 1
+            obs.get_calls = n
+            if not (n & obs.sample_mask):
+                t0 = time.perf_counter()
         self.stats.gets += 1
         value = self._memtable.get(key)
         if value is None:
@@ -185,6 +215,8 @@ class MiniKV:
                 value = table.get(key)
                 if value is not None:
                     break
+        if t0:
+            obs.get_latency.observe(time.perf_counter() - t0)
         if value is None or value is TOMBSTONE:
             return None
         self.stats.get_hits += 1

@@ -1,0 +1,78 @@
+"""Observability for the KML runtime: metrics, tracing, exporters.
+
+The paper's central claim is that ML can live *inside* the I/O hot path
+with "very low CPU and memory overheads" -- a claim that can only be
+defended with instrumentation that measures the pipeline itself.  This
+package is that measurement substrate, three pillars:
+
+- :mod:`repro.obs.metrics` -- ``Counter`` / ``Gauge`` / ``Histogram``
+  families in a :class:`MetricsRegistry` (process-global default plus
+  injectable instances for tests);
+- :mod:`repro.obs.tracing` -- :class:`Tracer` with nested spans on the
+  monotonic clock and :class:`PipelineTrace`, which stitches
+  tracepoint-emit -> buffer-push -> buffer-pop -> train-batch ->
+  inference into one causally-linked trace;
+- :mod:`repro.obs.exporters` -- Prometheus text exposition, JSONL dump,
+  and a human-readable report.
+
+:mod:`repro.obs.instrument` wires the pillars into the hot paths
+(circular buffer, trainer, tracepoints, matrix ops, minikv, the block
+layer) behind cheap guard checks; ``benchmarks/bench_obs_overhead.py``
+holds the instrumented paths to < 10% throughput overhead.
+
+This package deliberately imports nothing from the rest of ``repro`` at
+module scope: hot-path modules see only duck-typed hook objects, so no
+layering cycles can form.
+"""
+
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    get_default_registry,
+    set_default_registry,
+)
+from .tracing import PIPELINE_STAGES, PipelineTrace, Span, Tracer
+from .exporters import dump_jsonl, format_report, jsonl_lines, prometheus_text
+from .instrument import (
+    instrument_buffer,
+    instrument_device,
+    instrument_matrix_ops,
+    instrument_memory,
+    instrument_minikv,
+    instrument_network,
+    instrument_stack,
+    instrument_tracepoints,
+    instrument_trainer,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "get_default_registry",
+    "set_default_registry",
+    "PIPELINE_STAGES",
+    "PipelineTrace",
+    "Span",
+    "Tracer",
+    "dump_jsonl",
+    "format_report",
+    "jsonl_lines",
+    "prometheus_text",
+    "instrument_buffer",
+    "instrument_device",
+    "instrument_matrix_ops",
+    "instrument_memory",
+    "instrument_minikv",
+    "instrument_network",
+    "instrument_stack",
+    "instrument_tracepoints",
+    "instrument_trainer",
+]

@@ -20,6 +20,7 @@ that is still "in flight" waits until its completion time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, Optional
 
 from .clock import SimClock
 
@@ -52,6 +53,9 @@ class DeviceModel:
     per_page_s: float
     stats: DeviceStats = field(default_factory=DeviceStats)
     _busy_until: float = 0.0
+    #: Optional per-request observer ``(duration_s, n_pages, is_write)``,
+    #: installed by ``repro.obs`` to build the service-time histogram.
+    service_observer: Optional[Callable[[float, int, bool], None]] = None
 
     def __post_init__(self):
         if self.request_latency_s < 0 or self.per_page_s <= 0:
@@ -82,6 +86,8 @@ class DeviceModel:
         else:
             self.stats.read_requests += 1
             self.stats.pages_read += n_pages
+        if self.service_observer is not None:
+            self.service_observer(duration, n_pages, is_write)
         return done
 
     def read_sync(self, clock: SimClock, n_pages: int) -> float:

@@ -14,6 +14,7 @@ the kernel's contract.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List
 
@@ -52,6 +53,15 @@ class TracepointRegistry:
         self._subscribers: Dict[str, List[Subscriber]] = {n: [] for n in names}
         self.hit_counts: Dict[str, int] = {n: 0 for n in names}
         self.subscriber_errors = 0
+        # Optional observability hooks (duck-typed; see repro.obs).
+        self._obs = None
+
+    def attach_obs(self, hooks) -> None:
+        """Install an observability hook object (``repro.obs``)."""
+        self._obs = hooks
+
+    def detach_obs(self) -> None:
+        self._obs = None
 
     @property
     def names(self):
@@ -80,12 +90,16 @@ class TracepointRegistry:
         if not hooks:
             return
         event = TraceEvent(name=name, timestamp=timestamp, fields=fields)
+        obs = self._obs
+        t0 = time.perf_counter() if obs is not None else 0.0
         for hook in hooks:
             try:
                 hook(event)
             except Exception:
                 # A tracing hook must never take down the I/O path.
                 self.subscriber_errors += 1
+        if obs is not None:
+            obs.hook_latency.observe(time.perf_counter() - t0)
 
     @property
     def total_hits(self) -> int:

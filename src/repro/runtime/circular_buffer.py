@@ -17,6 +17,7 @@ real producer/consumer threads.)
 
 from __future__ import annotations
 
+import time
 from typing import Any, List, Optional
 
 from .atomics import AtomicInt
@@ -44,6 +45,16 @@ class CircularBuffer:
         self._dropped = AtomicInt(0)
         self._pushed = AtomicInt(0)
         self._popped = AtomicInt(0)
+        # Optional observability hooks (duck-typed; see repro.obs).  The
+        # producer owns the sampling counter, so plain ints are safe.
+        self._obs = None
+
+    def attach_obs(self, hooks) -> None:
+        """Install an observability hook object (``repro.obs``)."""
+        self._obs = hooks
+
+    def detach_obs(self) -> None:
+        self._obs = None
 
     # ------------------------------------------------------------------
 
@@ -87,6 +98,14 @@ class CircularBuffer:
         """Producer side: enqueue or drop.  Returns False on drop."""
         if item is None:
             raise ValueError("None cannot be enqueued (it marks emptiness)")
+        obs = self._obs
+        t0 = 0.0
+        if obs is not None:
+            # Sampled latency: count every push, time one in mask+1.
+            n = obs.push_calls + 1
+            obs.push_calls = n
+            if not (n & obs.sample_mask):
+                t0 = time.perf_counter()
         head = self._head.load()
         nxt = self._next(head)
         if nxt == self._tail.load():
@@ -95,6 +114,8 @@ class CircularBuffer:
         self._slots[head] = item
         self._head.store(nxt)  # publish after the slot is written
         self._pushed.fetch_add(1)
+        if t0:
+            obs.push_latency.observe(time.perf_counter() - t0)
         return True
 
     def pop(self) -> Optional[Any]:

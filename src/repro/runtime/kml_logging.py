@@ -11,7 +11,8 @@ from __future__ import annotations
 import enum
 import threading
 import time
-from typing import Callable, List, Optional, Tuple
+from collections import deque
+from typing import Callable, Deque, Optional, Tuple
 
 __all__ = ["LogLevel", "KmlLogger"]
 
@@ -34,7 +35,11 @@ class KmlLogger:
     ):
         self.level = level
         self._sink = sink
-        self._records: List[Tuple[float, LogLevel, str]] = []
+        # deque(maxlen=...) evicts the oldest record in O(1); a plain
+        # list's pop(0) is O(n) per log once at capacity.
+        self._records: Deque[Tuple[float, LogLevel, str]] = deque(
+            maxlen=capacity
+        )
         self._capacity = capacity
         self._lock = threading.Lock()
 
@@ -42,9 +47,7 @@ class KmlLogger:
         if level < self.level:
             return
         with self._lock:
-            if len(self._records) >= self._capacity:
-                # Oldest records are discarded first (ring semantics).
-                self._records.pop(0)
+            # Oldest records are discarded first (ring semantics).
             self._records.append((time.time(), level, message))
         if self._sink is not None:
             self._sink(level, message)

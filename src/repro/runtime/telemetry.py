@@ -2,85 +2,149 @@
 
 Kernel operators need to see, at a glance, whether a deployed KML
 application is healthy: is the buffer dropping samples, is the trainer
-keeping up, how much memory is reserved, are tracepoints firing.  This
-aggregates whichever components are registered into a plain dict (for
-programmatic checks) and a formatted report (for logs).
+keeping up, how much memory is reserved, are tracepoints firing.
+
+Since the observability subsystem landed (``repro.obs``), this class is
+a *view* over a :class:`~repro.obs.metrics.MetricsRegistry`: on
+construction every registered component is instrumented into the
+registry (callback metrics reading the component's own lifetime
+counters), and :meth:`snapshot` / :meth:`format_report` read those
+metrics back -- one source of truth, and the same numbers a Prometheus
+scrape of the registry would see (:meth:`export_prometheus`).
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, Optional
 
-from .circular_buffer import CircularBuffer
-from .memory import MemoryAccountant
-from .training_thread import AsyncTrainer
+from ..obs.exporters import jsonl_lines, prometheus_text
+from ..obs.instrument import (
+    instrument_buffer,
+    instrument_memory,
+    instrument_tracepoints,
+    instrument_trainer,
+)
+from ..obs.metrics import MetricsRegistry
 
 __all__ = ["KmlTelemetry"]
 
 
 class KmlTelemetry:
-    """Aggregates counters from the runtime components of one KML app."""
+    """Aggregates counters from the runtime components of one KML app.
+
+    ``registry`` is injectable for tests and for sharing one registry
+    across an app; by default each telemetry instance owns a private
+    registry so instances do not clash over metric families (one
+    pipeline per registry).
+    """
 
     def __init__(
         self,
-        buffer: Optional[CircularBuffer] = None,
-        trainer: Optional[AsyncTrainer] = None,
-        memory: Optional[MemoryAccountant] = None,
-        tracepoints=None,  # TracepointRegistry (duck-typed: optional dep)
+        buffer=None,            # CircularBuffer (duck-typed)
+        trainer=None,           # AsyncTrainer (duck-typed)
+        memory=None,            # MemoryAccountant (duck-typed)
+        tracepoints=None,       # TracepointRegistry (duck-typed)
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.buffer = buffer
         self.trainer = trainer
         self.memory = memory
         self.tracepoints = tracepoints
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._buffer_m = (
+            instrument_buffer(buffer, self.registry)
+            if buffer is not None else None
+        )
+        self._trainer_m = (
+            instrument_trainer(trainer, self.registry)
+            if trainer is not None else None
+        )
+        self._memory_m = (
+            instrument_memory(memory, self.registry)
+            if memory is not None else None
+        )
+        self._tracepoints_m = (
+            instrument_tracepoints(tracepoints, self.registry)
+            if tracepoints is not None else None
+        )
 
     def snapshot(self) -> Dict[str, Any]:
-        """Point-in-time counters of every registered component."""
+        """Point-in-time counters of every registered component.
+
+        Numeric counters are read through the registry's callback
+        metrics; fields with no metric representation (trainer mode,
+        the raw memory stats dict) come straight from the component.
+        """
         snap: Dict[str, Any] = {}
-        if self.buffer is not None:
-            pushed = self.buffer.pushed
-            dropped = self.buffer.dropped
+        if self._buffer_m is not None:
+            m = self._buffer_m
+            pushed = m["pushed"].value
+            dropped = m["dropped"].value
             attempts = pushed + dropped
             snap["buffer"] = {
-                "capacity": self.buffer.capacity,
-                "occupancy": len(self.buffer),
-                "pushed": pushed,
-                "popped": self.buffer.popped,
-                "dropped": dropped,
+                "capacity": int(m["capacity"].value),
+                "occupancy": int(m["occupancy"].value),
+                "pushed": int(pushed),
+                "popped": int(m["popped"].value),
+                "dropped": int(dropped),
                 "drop_rate": dropped / attempts if attempts else 0.0,
             }
-        if self.trainer is not None:
+        if self._trainer_m is not None:
+            m = self._trainer_m
+            mode = getattr(self.trainer, "mode", None)
             snap["trainer"] = {
-                "running": self.trainer.running,
-                "mode": self.trainer.mode.value,
-                "samples_seen": self.trainer.samples_seen,
-                "batches_trained": self.trainer.batches_trained,
+                "running": bool(m["running"].value),
+                "mode": getattr(mode, "value", mode),
+                "samples_seen": int(m["samples"].value),
+                "batches_trained": int(m["batches"].value),
             }
         if self.memory is not None:
-            snap["memory"] = self.memory.stats()
-            snap["memory"]["reservation"] = self.memory.reservation
+            stats = getattr(self.memory, "stats", None)
+            snap["memory"] = dict(stats()) if stats is not None else {}
+            snap["memory"]["reservation"] = getattr(
+                self.memory, "reservation", None
+            )
         if self.tracepoints is not None:
             snap["tracepoints"] = {
-                "total": self.tracepoints.total_hits,
-                "by_name": dict(self.tracepoints.hit_counts),
-                "subscriber_errors": self.tracepoints.subscriber_errors,
+                "total": getattr(self.tracepoints, "total_hits", 0),
+                "by_name": dict(getattr(self.tracepoints, "hit_counts", {})),
+                "subscriber_errors": (
+                    int(self._tracepoints_m["errors"].value)
+                    if self._tracepoints_m is not None else 0
+                ),
             }
         return snap
 
     # ------------------------------------------------------------------
 
     def healthy(self, max_drop_rate: float = 0.01) -> bool:
-        """True when no component shows a distress signal."""
+        """True when no component shows a distress signal.
+
+        Tolerates duck-typed partial stubs: a component whose snapshot
+        is missing a counter is treated as reporting zero, not as a
+        crash.
+        """
         snap = self.snapshot()
         buffer = snap.get("buffer")
-        if buffer is not None and buffer["drop_rate"] > max_drop_rate:
+        if buffer is not None and buffer.get("drop_rate", 0.0) > max_drop_rate:
             return False
         memory = snap.get("memory")
-        if memory is not None and memory["failed_allocations"] > 0:
+        if memory is not None and memory.get("failed_allocations", 0) > 0:
             return False
         tracepoints = snap.get("tracepoints")
-        if tracepoints is not None and tracepoints["subscriber_errors"] > 0:
+        if tracepoints is not None and tracepoints.get("subscriber_errors", 0) > 0:
             return False
         return True
+
+    # ------------------------------------------------------------------
+
+    def export_prometheus(self) -> str:
+        """The registry in the Prometheus text exposition format."""
+        return prometheus_text(self.registry)
+
+    def export_jsonl(self):
+        """The registry as JSONL records (one JSON object per sample)."""
+        return jsonl_lines(self.registry)
 
     def format_report(self) -> str:
         """Multi-line human-readable report."""
@@ -103,12 +167,12 @@ class KmlTelemetry:
             )
         memory = snap.get("memory")
         if memory is not None:
-            reservation = memory["reservation"]
+            reservation = memory.get("reservation")
             limit = f"/{reservation}" if reservation is not None else ""
             lines.append(
-                f"  memory   {memory['in_use']}{limit} B in use "
-                f"(peak {memory['peak']} B, "
-                f"{memory['failed_allocations']} failed allocations)"
+                f"  memory   {memory.get('in_use', 0)}{limit} B in use "
+                f"(peak {memory.get('peak', 0)} B, "
+                f"{memory.get('failed_allocations', 0)} failed allocations)"
             )
         tracepoints = snap.get("tracepoints")
         if tracepoints is not None:

@@ -74,6 +74,15 @@ class AsyncTrainer:
         self._error: Optional[BaseException] = None
         self.batches_trained = 0
         self.samples_seen = 0
+        # Optional observability hooks (duck-typed; see repro.obs).
+        self._obs = None
+
+    def attach_obs(self, hooks) -> None:
+        """Install an observability hook object (``repro.obs``)."""
+        self._obs = hooks
+
+    def detach_obs(self) -> None:
+        self._obs = None
 
     # ------------------------------------------------------------------
 
@@ -121,12 +130,16 @@ class AsyncTrainer:
             self._error = exc
 
     def _process(self, batch: List[Any]) -> None:
+        obs = self._obs
+        t0 = time.perf_counter() if obs is not None else 0.0
         if self.normalize_fn is not None:
             batch = self.normalize_fn(batch)
         self.samples_seen += len(batch)
         if self._mode is Mode.TRAINING:
             self.train_fn(batch)
             self.batches_trained += 1
+        if obs is not None:
+            obs.batch_latency.observe(time.perf_counter() - t0)
 
     def stop(self, timeout: float = 5.0) -> None:
         """Signal shutdown, join, and re-raise any captured error."""

@@ -1,0 +1,137 @@
+"""Tests for span tracing and the pipeline-cycle stitcher."""
+
+import pytest
+
+from repro.obs import PIPELINE_STAGES, PipelineTrace, Tracer
+
+
+class TestTracer:
+    def test_nested_spans_share_trace_and_link_parents(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert tracer.active() is inner
+            assert tracer.active() is outer
+        assert tracer.active() is None
+        assert inner.trace_id == outer.trace_id
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_sibling_roots_get_distinct_traces(self):
+        tracer = Tracer()
+        with tracer.span("a") as a:
+            pass
+        with tracer.span("b") as b:
+            pass
+        assert a.trace_id != b.trace_id
+
+    def test_duration_none_while_open(self):
+        tracer = Tracer()
+        with tracer.span("x") as sp:
+            assert sp.duration is None
+        assert sp.duration is not None and sp.duration >= 0.0
+
+    def test_tags_and_to_dict(self):
+        tracer = Tracer()
+        with tracer.span("x", device="nvme", n=3) as sp:
+            pass
+        d = sp.to_dict()
+        assert d["name"] == "x"
+        assert d["tags"] == {"device": "nvme", "n": 3}
+        assert d["duration"] == sp.duration
+
+    def test_finished_ring_evicts_oldest(self):
+        tracer = Tracer(max_spans=4)
+        for i in range(10):
+            with tracer.span(f"s{i}"):
+                pass
+        names = [s.name for s in tracer.finished()]
+        assert names == ["s6", "s7", "s8", "s9"]
+        assert tracer.spans_started == 10
+
+    def test_trace_filters_by_id(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("child"):
+                pass
+        with tracer.span("other"):
+            pass
+        names = sorted(s.name for s in tracer.trace(root.trace_id))
+        assert names == ["child", "root"]
+
+    def test_clear_and_invalid_capacity(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        tracer.clear()
+        assert tracer.finished() == []
+        with pytest.raises(ValueError):
+            Tracer(max_spans=0)
+
+
+class TestPipelineTrace:
+    def _run_cycle(self, pipeline, stages=PIPELINE_STAGES):
+        with pipeline.cycle():
+            for stage in stages:
+                with pipeline.stage(stage):
+                    pass
+
+    def test_complete_cycle_detection(self):
+        pipeline = PipelineTrace()
+        self._run_cycle(pipeline)
+        self._run_cycle(pipeline, stages=PIPELINE_STAGES[:2])  # incomplete
+        assert len(pipeline.cycles()) == 2
+        assert len(pipeline.complete_cycles()) == 1
+
+    def test_all_stage_spans_share_root_trace(self):
+        tracer = Tracer()
+        pipeline = PipelineTrace(tracer)
+        self._run_cycle(pipeline)
+        trace_id = pipeline.complete_cycles()[0]["trace_id"]
+        spans = tracer.trace(trace_id)
+        assert {s.name for s in spans} == set(PIPELINE_STAGES) | {
+            PipelineTrace.ROOT_SPAN
+        }
+
+    def test_unknown_stage_raises(self):
+        pipeline = PipelineTrace()
+        with pipeline.cycle():
+            with pytest.raises(ValueError):
+                with pipeline.stage("disk_format"):
+                    pass
+
+    def test_stage_outside_cycle_raises(self):
+        pipeline = PipelineTrace()
+        with pytest.raises(RuntimeError):
+            with pipeline.stage("buffer_push"):
+                pass
+
+    def test_cycles_cannot_nest(self):
+        pipeline = PipelineTrace()
+        with pipeline.cycle():
+            with pytest.raises(RuntimeError):
+                with pipeline.cycle():
+                    pass
+
+    def test_stage_stats_and_format(self):
+        pipeline = PipelineTrace()
+        for _ in range(3):
+            self._run_cycle(pipeline)
+        stats = pipeline.stage_stats()
+        for stage in PIPELINE_STAGES:
+            assert stats[stage]["count"] == 3
+            assert stats[stage]["max"] >= stats[stage]["p50"] >= 0.0
+        text = pipeline.format()
+        assert "3 complete cycle(s)" in text
+        assert "end-to-end mean" in text
+        for stage in PIPELINE_STAGES:
+            assert stage in text
+
+    def test_format_with_no_cycles(self):
+        assert "0 complete cycle(s)" in PipelineTrace().format()
+
+    def test_cycle_ring_bounded(self):
+        pipeline = PipelineTrace(max_cycles=2)
+        for _ in range(5):
+            self._run_cycle(pipeline)
+        assert len(pipeline.cycles()) == 2

@@ -97,3 +97,23 @@ class TestHealth:
         assert "trainer" in report
         assert "memory" in report
         assert "traces" in report
+
+    def test_partial_duck_typed_stubs_do_not_crash_health(self):
+        """Regression: a stub whose stats() omits a counter used to
+        KeyError inside healthy(); missing counters now read as zero."""
+
+        class PartialMemory:
+            def stats(self):
+                return {"in_use": 5}  # no failed_allocations / peak
+
+        class PartialTracepoints:
+            hit_counts = {"readahead": 1}  # no subscriber_errors attr
+
+        telemetry = KmlTelemetry(
+            memory=PartialMemory(), tracepoints=PartialTracepoints()
+        )
+        assert telemetry.healthy()
+        snap = telemetry.snapshot()
+        assert snap["memory"]["in_use"] == 5
+        assert snap["tracepoints"]["subscriber_errors"] == 0
+        assert "memory" in telemetry.format_report()
