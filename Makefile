@@ -1,11 +1,11 @@
 # Convenience targets for the KML reproduction.
 
-.PHONY: install test obs-check bench report clean
+.PHONY: install test obs-check faults-check bench report clean
 
 install:
 	pip install -e . || python setup.py develop
 
-test: obs-check
+test: obs-check faults-check
 	pytest tests/
 
 # Observability gate: the obs unit tests plus the instrumentation
@@ -13,6 +13,14 @@ test: obs-check
 obs-check:
 	pytest tests/obs/ -q
 	python benchmarks/bench_obs_overhead.py --smoke
+
+# Fault-injection gate: the full stress matrices (fixed seed matrix:
+# >= 200 seeded minikv crash cases, the multi-producer buffer storm,
+# exhaustive model-file fuzzing) plus the fault-plane overhead budget
+# (smoke mode; see docs/FAULTS.md).
+faults-check:
+	FAULTS_STRESS=1 pytest tests/faults/ -q
+	python benchmarks/bench_faults_overhead.py --smoke
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -8,6 +8,7 @@ Subcommands mirror the paper's workflow stages:
     repro run        run a workload vanilla vs with the KML agent
     repro inspect    describe a saved .kml model file
     repro obs        run a workload fully instrumented; export metrics
+    repro faults     inject faults: named scenarios or the crash matrix
 
 Invoke as ``python -m repro <subcommand> --help``.
 """
@@ -95,6 +96,28 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--jsonl-out", default=None,
                      help="also write a JSONL dump (metrics + spans) here")
     obs.add_argument("--seed", type=int, default=42)
+
+    faults = sub.add_parser(
+        "faults",
+        help="run a fault-injection scenario or the crash-recovery matrix",
+    )
+    faults.add_argument("--list", action="store_true", dest="list_scenarios",
+                        help="list named scenarios and exit")
+    faults.add_argument("--scenario", default=None,
+                        help="run a KV workload under this named scenario")
+    faults.add_argument("--crash-matrix", action="store_true",
+                        help="crash minikv at every registered crash point "
+                             "and verify recovery")
+    faults.add_argument("--sites", default=None,
+                        help="comma-separated site filter for --crash-matrix")
+    faults.add_argument("--seeds", type=int, default=8,
+                        help="seeds per site in the crash matrix")
+    faults.add_argument("--ops", type=int, default=2000,
+                        help="KV operations in the scenario workload")
+    faults.add_argument("--num-keys", type=int, default=500)
+    faults.add_argument("--value-size", type=int, default=100)
+    faults.add_argument("--device", default="nvme", choices=("nvme", "ssd"))
+    faults.add_argument("--seed", type=int, default=42)
 
     report = sub.add_parser(
         "report", help="assemble benchmark results into one summary"
@@ -380,6 +403,119 @@ def _cmd_obs(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    """Run a fault scenario against a KV workload, or the crash matrix."""
+    from .faults import (
+        ALL_CRASH_SITES,
+        CrashRecoveryHarness,
+        SCENARIOS,
+        InjectedFault,
+        SimCrash,
+        build_scenario,
+        scenario_names,
+    )
+
+    if args.list_scenarios:
+        width = max(len(name) for name in scenario_names())
+        for name in scenario_names():
+            print(f"{name:<{width}}  {SCENARIOS[name][1]}")
+        return 0
+
+    if args.crash_matrix:
+        harness = CrashRecoveryHarness()
+        sites = ALL_CRASH_SITES
+        if args.sites:
+            wanted = [s.strip() for s in args.sites.split(",") if s.strip()]
+            unknown = [s for s in wanted if s not in ALL_CRASH_SITES]
+            if unknown:
+                print(f"unknown sites: {', '.join(unknown)}")
+                print(f"known: {', '.join(ALL_CRASH_SITES)}")
+                return 2
+            sites = tuple(wanted)
+        seeds = range(args.seed, args.seed + args.seeds)
+        reports = harness.run_matrix(sites=sites, seeds=seeds)
+        by_site = {}
+        for report in reports:
+            by_site.setdefault(report.site, []).append(report)
+        failures = [r for r in reports if not r.ok]
+        width = max(len(site) for site in sites)
+        for site in sites:
+            site_reports = by_site[site]
+            ok = sum(1 for r in site_reports if r.ok)
+            pending_kept = sum(1 for r in site_reports if r.pending_included)
+            print(
+                f"{site:<{width}}  {ok}/{len(site_reports)} recovered"
+                f"  (pending survived in {pending_kept})"
+            )
+        print(
+            f"\n{len(reports)} cases, {len(reports) - len(failures)} ok, "
+            f"{len(failures)} failed"
+        )
+        for report in failures:
+            print(f"  FAIL {report.site} seed={report.seed}: {report.detail}")
+        return 1 if failures else 0
+
+    if args.scenario is None:
+        print("nothing to do: pass --list, --scenario NAME, or --crash-matrix")
+        return 2
+
+    from .minikv import DBOptions, MiniKV
+    from .obs import (
+        MetricsRegistry,
+        format_report,
+        instrument_faults,
+        instrument_minikv,
+        instrument_stack,
+    )
+    from .os_sim import make_stack
+
+    plane = build_scenario(args.scenario, seed=args.seed)
+    registry = MetricsRegistry()
+    metrics = instrument_faults(plane, registry)
+    stack = make_stack(args.device)
+    stack.fs.attach_faults(plane)
+    stack.device.attach_faults(plane)
+    instrument_stack(stack, registry)
+    db = MiniKV(stack, DBOptions(memtable_bytes=4096))
+    db.attach_faults(plane)
+    instrument_minikv(db, registry)
+
+    rng = np.random.default_rng(args.seed)
+    errors = crashes = 0
+    for _ in range(args.ops):
+        key = b"key-%06d" % rng.integers(0, args.num_keys)
+        try:
+            if rng.random() < 0.5:
+                db.put(key, rng.bytes(args.value_size))
+            else:
+                db.get(key)
+        except SimCrash:
+            crashes += 1
+            db = MiniKV(stack, DBOptions(memtable_bytes=4096))
+            db.attach_faults(plane)
+        except InjectedFault:
+            errors += 1
+
+    print(f"scenario {args.scenario!r}: {args.ops} ops on {args.device}")
+    print(plane.describe())
+    print(
+        f"ops failed with injected errors: {errors}; "
+        f"simulated crashes (+ recoveries): {crashes}"
+    )
+    print(
+        f"db stats: io_retries={db.stats.io_retries} "
+        f"io_giveups={db.stats.io_giveups} "
+        f"wal_records_replayed={db.stats.wal_records_replayed} "
+        f"orphans_removed={db.stats.orphans_removed}"
+    )
+    registry.collect()
+    print(f"injections by site/kind: {plane.injection_counts()}")
+    print()
+    print(format_report(registry))
+    del metrics
+    return 0
+
+
 def _cmd_report(args) -> int:
     import glob
     import os
@@ -413,6 +549,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "inspect": _cmd_inspect,
     "obs": _cmd_obs,
+    "faults": _cmd_faults,
     "report": _cmd_report,
 }
 

@@ -1,0 +1,53 @@
+"""Deterministic fault injection and recovery hardening for the KML runtime.
+
+The control half of testing what the paper's runtime does when storage
+misbehaves: seeded fault *rules* armed at named injection *sites*
+threaded through the simulated VFS, block device, circular buffer,
+training thread, model loader, and minikv -- plus the machinery that
+proves the system recovers (the crash harness) and keeps running (the
+trainer supervisor).
+
+Layering contract: hot-path modules never import this package.  They
+expose ``attach_faults(plane)`` and hold per-site handles that are
+``None`` unless a rule targets them, so a disabled plane costs one
+pointer check.  See ``docs/FAULTS.md``.
+"""
+
+from .errors import FaultConfigError, InjectedFault, InjectedIOError, SimCrash
+from .harness import ALL_CRASH_SITES, CrashRecoveryHarness, CrashReport
+from .plane import (
+    SITES,
+    CorruptBytes,
+    Delay,
+    DropSample,
+    FaultKind,
+    FaultPlane,
+    FaultRule,
+    FaultSite,
+    TornWrite,
+)
+from .scenarios import SCENARIOS, build_scenario, scenario_names
+from .supervisor import TrainerSupervisor
+
+__all__ = [
+    "FaultConfigError",
+    "InjectedFault",
+    "InjectedIOError",
+    "SimCrash",
+    "SITES",
+    "FaultKind",
+    "FaultRule",
+    "FaultSite",
+    "FaultPlane",
+    "TornWrite",
+    "Delay",
+    "DropSample",
+    "CorruptBytes",
+    "SCENARIOS",
+    "build_scenario",
+    "scenario_names",
+    "TrainerSupervisor",
+    "ALL_CRASH_SITES",
+    "CrashRecoveryHarness",
+    "CrashReport",
+]

@@ -1,0 +1,136 @@
+"""Named fault scenarios: canned rule sets for the CLI and tests.
+
+A scenario is a function ``seed -> FaultPlane``; the registry maps the
+names the ``repro faults`` subcommand accepts.  Scenarios are the
+*workload-level* entry point -- the crash harness builds its planes
+directly because it needs one precisely-placed crash per case.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from .errors import FaultConfigError
+from .plane import FaultKind, FaultPlane
+
+__all__ = ["SCENARIOS", "build_scenario", "scenario_names"]
+
+
+def _flaky_device(seed: int) -> FaultPlane:
+    return FaultPlane(seed).inject(
+        "device.submit", FaultKind.ERROR, probability=0.01,
+        transient=True, message="transient device error",
+    )
+
+
+def _failing_device(seed: int) -> FaultPlane:
+    # Persistent failure bursts: transient errors too dense for the
+    # default retry budget, so give-ups become visible.
+    return FaultPlane(seed).inject(
+        "device.submit", FaultKind.ERROR, probability=0.35,
+        transient=True, message="device error burst",
+    )
+
+
+def _slow_device(seed: int) -> FaultPlane:
+    return FaultPlane(seed).inject(
+        "device.submit", FaultKind.DELAY, probability=0.05, delay_s=5e-3,
+    )
+
+
+def _buffer_pressure(seed: int) -> FaultPlane:
+    return FaultPlane(seed).inject(
+        "buffer.push", FaultKind.DROP, probability=0.25,
+    )
+
+
+def _trainer_flaky(seed: int) -> FaultPlane:
+    # Two transient training crashes, then healthy: the supervisor
+    # should restart twice and stay in TRAINING mode.
+    return FaultPlane(seed).inject(
+        "trainer.batch", FaultKind.ERROR, every=1, max_injections=2,
+        message="transient trainer fault",
+    )
+
+
+def _trainer_crash(seed: int) -> FaultPlane:
+    # Every batch fails: the supervisor must exhaust its restart budget
+    # and degrade to the default heuristic.
+    return FaultPlane(seed).inject(
+        "trainer.batch", FaultKind.ERROR,
+        message="persistent trainer fault",
+    )
+
+
+def _torn_wal(seed: int) -> FaultPlane:
+    return FaultPlane(seed).inject(
+        "minikv.wal.append", FaultKind.TORN_WRITE,
+        nth=25, keep_fraction=0.5, message="torn WAL tail",
+    )
+
+
+def _fsync_error(seed: int) -> FaultPlane:
+    return FaultPlane(seed).inject(
+        "vfs.fsync", FaultKind.ERROR, probability=0.2, transient=True,
+    )
+
+
+def _corrupt_model(seed: int) -> FaultPlane:
+    return FaultPlane(seed).inject(
+        "model_io.load", FaultKind.CORRUPT, corrupt="bitflip",
+    )
+
+
+SCENARIOS: Dict[str, Tuple[Callable[[int], FaultPlane], str]] = {
+    "flaky-device": (
+        _flaky_device,
+        "1% transient block-device errors (retry-with-backoff absorbs them)",
+    ),
+    "failing-device": (
+        _failing_device,
+        "35% device errors: dense enough to exhaust the retry budget",
+    ),
+    "slow-device": (
+        _slow_device,
+        "5% of requests take an extra 5 ms (latency spikes)",
+    ),
+    "buffer-pressure": (
+        _buffer_pressure,
+        "25% of circular-buffer pushes forced to drop (overflow pressure)",
+    ),
+    "trainer-flaky": (
+        _trainer_flaky,
+        "two transient training-thread crashes; supervisor restarts",
+    ),
+    "trainer-crash": (
+        _trainer_crash,
+        "every batch crashes; supervisor degrades to the heuristic",
+    ),
+    "torn-wal": (
+        _torn_wal,
+        "tear the 25th WAL append mid-record, then crash",
+    ),
+    "fsync-error": (
+        _fsync_error,
+        "20% of fsyncs fail with a transient error",
+    ),
+    "corrupt-model": (
+        _corrupt_model,
+        "flip one bit in every model file load (CRC must catch it)",
+    ),
+}
+
+
+def scenario_names() -> Tuple[str, ...]:
+    return tuple(sorted(SCENARIOS))
+
+
+def build_scenario(name: str, seed: int = 0) -> FaultPlane:
+    """Build the named scenario's plane."""
+    try:
+        builder, _ = SCENARIOS[name]
+    except KeyError:
+        raise FaultConfigError(
+            f"unknown scenario {name!r}; choose from {', '.join(scenario_names())}"
+        ) from None
+    return builder(seed)

@@ -41,10 +41,33 @@ from .matrix import Matrix
 from .network import Sequential
 from .quantize import QuantizedLinear
 
-__all__ = ["ModelFormatError", "save_model", "load_model", "MAGIC", "VERSION"]
+__all__ = [
+    "ModelFormatError",
+    "save_model",
+    "load_model",
+    "set_fault_hook",
+    "MAGIC",
+    "VERSION",
+]
 
 MAGIC = b"KMLM"
 VERSION = 1
+
+# Optional fault-injection hook (duck-typed; see repro.faults): a
+# callable applied to the raw file bytes inside load_model, so tests can
+# corrupt or truncate a model "on the storage medium" without touching
+# the file.  None keeps the load path unchanged.
+_fault_hook = None
+
+
+def set_fault_hook(hook) -> None:
+    """Install (or clear, with ``None``) the load-path fault hook.
+
+    ``FaultPlane.model_io_hook()`` builds a compatible callable; the
+    hook may return mutated bytes or raise an injected error.
+    """
+    global _fault_hook
+    _fault_hook = hook
 
 _KIND_SEQUENTIAL = 1
 _KIND_TREE = 2
@@ -265,6 +288,8 @@ def load_model(path: str) -> Model:
     """Load and validate a model file; raises ModelFormatError on damage."""
     with open(path, "rb") as f:
         data = f.read()
+    if _fault_hook is not None:
+        data = _fault_hook(data)
     if len(data) < len(MAGIC) + 13 + 4:
         raise ModelFormatError("file too small to be a KML model")
     body, crc_raw = data[:-4], data[-4:]

@@ -33,6 +33,12 @@ class DBOptions:
     block_size: int = 4096             # one simulated page
     wal_enabled: bool = True
     name: str = "db"
+    # Transient-I/O retry policy (see repro.faults): how many times a
+    # read-path or manifest-sync error marked transient is retried, and
+    # the capped-exponential backoff charged to the simulated clock.
+    io_retries: int = 3
+    io_retry_backoff_s: float = 1e-4
+    io_retry_backoff_cap_s: float = 1e-2
 
 
 @dataclass
@@ -44,10 +50,40 @@ class DBStats:
     flushes: int = 0
     compactions: int = 0
     seeks: int = 0
+    io_retries: int = 0        # transient I/O errors absorbed by retry
+    io_giveups: int = 0        # retry budget exhausted; error propagated
+    orphans_removed: int = 0   # unreferenced SSTable files GC'd at open
+    wal_records_replayed: int = 0
 
 
 class MiniKV:
-    """LSM KV store: put/get/delete/scan with crash recovery."""
+    """LSM KV store: put/get/delete/scan with crash recovery.
+
+    Every step boundary whose ordering matters for recovery is a named
+    *crash point* (:attr:`CRASH_POINTS`): under an armed fault plane a
+    :class:`~repro.faults.errors.SimCrash` can be raised exactly there,
+    and ``repro.faults.harness`` proves that reopening the store over
+    the surviving files recovers to reference-model equivalence.  The
+    durability order is manifest-before-WAL-reset and
+    manifest-before-input-unlink, with the manifest itself updated via
+    write-tmp + fsync + rename so it is never mid-rewrite on disk.
+    """
+
+    #: Registered crash points (short names; the fault-plane site is
+    #: ``"minikv." + name``).  ``repro.faults.plane.SITES`` mirrors
+    #: this list -- tests/faults/test_plane.py asserts they stay in
+    #: sync -- and the crash harness exercises every entry plus the
+    #: torn-write site ``minikv.wal.append`` owned by the WAL.
+    CRASH_POINTS = (
+        "memtable.apply",
+        "flush.after_build",
+        "flush.after_manifest",
+        "flush.after_wal_reset",
+        "compact.after_merge",
+        "compact.after_manifest",
+        "compact.after_unlink",
+        "manifest.tmp_written",
+    )
 
     def __init__(self, stack: StorageStack, options: Optional[DBOptions] = None):
         self.stack = stack
@@ -61,6 +97,9 @@ class MiniKV:
         self._next_table_seq = 0
         # Optional observability hooks (duck-typed; see repro.obs).
         self._obs = None
+        # Optional fault-injection site handles (duck-typed; see
+        # repro.faults): short crash-point name -> FaultSite.
+        self._fault_sites = None
         self._recover()
 
     def attach_obs(self, hooks) -> None:
@@ -69,6 +108,29 @@ class MiniKV:
 
     def detach_obs(self) -> None:
         self._obs = None
+
+    def attach_faults(self, plane) -> None:
+        """Resolve crash-point site handles (and the WAL's) from a plane."""
+        sites = {}
+        for short in self.CRASH_POINTS:
+            site = plane.site("minikv." + short)
+            if site is not None:
+                sites[short] = site
+        self._fault_sites = sites or None
+        self._wal.attach_faults(plane)
+
+    def detach_faults(self) -> None:
+        self._fault_sites = None
+        self._wal.detach_faults()
+
+    def _crash_point(self, name: str) -> None:
+        """Fire a registered crash point (cold paths only; hot paths
+        inline the ``_fault_sites is not None`` guard)."""
+        sites = self._fault_sites
+        if sites is not None:
+            site = sites.get(name)
+            if site is not None:
+                site.fire()
 
     # ------------------------------------------------------------------
     # Recovery / manifest
@@ -79,20 +141,39 @@ class MiniKV:
         return f"{self.options.name}/MANIFEST"
 
     def _write_manifest(self) -> None:
+        """Atomically replace the manifest: tmp + fsync + rename.
+
+        A crash can therefore leave either the old manifest or the new
+        one, never a torn rewrite -- the invariant every recovery path
+        below assumes.
+        """
         lines = [f"seq {self._next_table_seq}"]
         for table in self._l0:
             lines.append(f"0 {table.name}")
         for table in self._l1:
             lines.append(f"1 {table.name}")
         payload = "\n".join(lines).encode("ascii")
-        if self.fs.exists(self._manifest_name):
-            self.fs.unlink(self._manifest_name)
-        handle = self.fs.open(self._manifest_name, create=True)
+        tmp_name = self._manifest_name + ".tmp"
+        if self.fs.exists(tmp_name):
+            self.fs.unlink(tmp_name)
+        handle = self.fs.open(tmp_name, create=True)
         self.fs.write(handle, 0, payload)
         self.fs.fsync(handle)
+        self._crash_point("manifest.tmp_written")
+        self.fs.rename(tmp_name, self._manifest_name)
 
     def _recover(self) -> None:
-        """Rebuild levels from the manifest, then replay the WAL."""
+        """Rebuild levels from the manifest, then replay the WAL.
+
+        Also garbage-collects crash leftovers: a stale MANIFEST.tmp
+        and any SSTable file the manifest does not reference (a flush
+        or compaction that died between building its output and
+        publishing it) -- otherwise a recovered table seq would collide
+        with the orphan's name.
+        """
+        tmp_name = self._manifest_name + ".tmp"
+        if self.fs.exists(tmp_name):
+            self.fs.unlink(tmp_name)
         if self.fs.exists(self._manifest_name):
             handle = self.fs.open(self._manifest_name)
             raw = self.fs.read(handle, 0, self.fs.stat_size(self._manifest_name))
@@ -106,12 +187,19 @@ class MiniKV:
                     self._l1.append(SSTableReader(self.fs, value))
                 else:
                     raise ValueError(f"bad manifest line {line!r}")
+        referenced = {table.name for table in self._l0 + self._l1}
+        sst_prefix = f"{self.options.name}/sst-"
+        for fname in self.fs.list_files():
+            if fname.startswith(sst_prefix) and fname not in referenced:
+                self.fs.unlink(fname)
+                self.stats.orphans_removed += 1
         if self.options.wal_enabled:
             for key, value in self._wal.replay():
                 if value is None:
                     self._memtable.delete(key)
                 else:
                     self._memtable.put(key, value)
+                self.stats.wal_records_replayed += 1
 
     # ------------------------------------------------------------------
     # Mutations
@@ -128,6 +216,12 @@ class MiniKV:
                 t0 = time.perf_counter()
         if self.options.wal_enabled:
             self._wal.append(key, value)
+        sites = self._fault_sites
+        if sites is not None:
+            # Crash window: WAL record durable, memtable not yet updated.
+            site = sites.get("memtable.apply")
+            if site is not None:
+                site.fire()
         self._memtable.put(key, value)
         self.stats.puts += 1
         self._maybe_flush()
@@ -138,6 +232,11 @@ class MiniKV:
         self._check_key(key)
         if self.options.wal_enabled:
             self._wal.append(key, None)
+        sites = self._fault_sites
+        if sites is not None:
+            site = sites.get("memtable.apply")
+            if site is not None:
+                site.fire()
         self._memtable.delete(key)
         self.stats.deletes += 1
         self._maybe_flush()
@@ -152,7 +251,16 @@ class MiniKV:
             self.flush()
 
     def flush(self) -> None:
-        """Persist the memtable as a new L0 SSTable."""
+        """Persist the memtable as a new L0 SSTable.
+
+        Ordering is load-bearing for crash safety: the new table is
+        built and *published in the manifest* before the memtable and
+        WAL are cleared.  A crash after the build leaves an orphan file
+        (GC'd on recovery) with the WAL intact; a crash after the
+        manifest but before the WAL reset replays records already in
+        the table, which is idempotent.  Resetting the WAL first --
+        the naive order -- would lose every unflushed record.
+        """
         if len(self._memtable) == 0:
             return
         name = self._new_table_name()
@@ -160,11 +268,14 @@ class MiniKV:
         for key, value in self._memtable.items_sorted():
             builder.add(key, value)
         self._l0.insert(0, builder.finish())
+        self._crash_point("flush.after_build")
+        self._write_manifest()
+        self._crash_point("flush.after_manifest")
         self._memtable.clear()
         if self.options.wal_enabled:
             self._wal.reset()
+        self._crash_point("flush.after_wal_reset")
         self.stats.flushes += 1
-        self._write_manifest()
         self._maybe_compact()
 
     def _new_table_name(self) -> str:
@@ -186,18 +297,52 @@ class MiniKV:
             drop_tombstones=True,  # L1 is the bottom level
             block_size=self.options.block_size,
         )
-        for table in inputs:
-            self.fs.unlink(table.name)
+        self._crash_point("compact.after_merge")
+        # Publish the merged table in the manifest *before* unlinking
+        # the inputs -- the reverse order leaves a manifest referencing
+        # deleted files, which is unrecoverable.
         self._l0 = []
         self._l1 = [merged]
-        self.stats.compactions += 1
         self._write_manifest()
+        self._crash_point("compact.after_manifest")
+        for table in inputs:
+            self.fs.unlink(table.name)
+        self._crash_point("compact.after_unlink")
+        self.stats.compactions += 1
         if obs is not None:
             obs.compaction_seconds.observe(time.perf_counter() - t0)
 
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
+
+    def _with_io_retries(self, fn):
+        """Run ``fn`` retrying *transient* I/O errors with capped
+        exponential backoff.
+
+        Only exceptions carrying a truthy ``transient`` attribute (the
+        convention :class:`repro.faults.errors.InjectedIOError` follows)
+        are retried; everything else propagates immediately.  Backoff
+        is charged to the simulated clock so retry storms are visible
+        in the timing results, not hidden wall-clock sleeps.
+        """
+        attempt = 0
+        while True:
+            try:
+                return fn()
+            except Exception as exc:
+                if not getattr(exc, "transient", False):
+                    raise
+                if attempt >= self.options.io_retries:
+                    self.stats.io_giveups += 1
+                    raise
+                delay = min(
+                    self.options.io_retry_backoff_s * (2 ** attempt),
+                    self.options.io_retry_backoff_cap_s,
+                )
+                self.fs.clock.advance(delay)
+                attempt += 1
+                self.stats.io_retries += 1
 
     def get(self, key: bytes) -> Optional[bytes]:
         self._check_key(key)
@@ -212,7 +357,7 @@ class MiniKV:
         value = self._memtable.get(key)
         if value is None:
             for table in self._l0 + self._l1:
-                value = table.get(key)
+                value = self._with_io_retries(lambda: table.get(key))
                 if value is not None:
                     break
         if t0:

@@ -32,6 +32,16 @@ class WriteAheadLog:
         self.fs = fs
         self.name = name
         self._file: Optional[File] = None
+        # Optional fault-injection site handle (duck-typed; see
+        # repro.faults): errors, crashes, or torn (partial) appends.
+        self._fault_append = None
+
+    def attach_faults(self, plane) -> None:
+        """Resolve the ``minikv.wal.append`` injection site."""
+        self._fault_append = plane.site("minikv.wal.append")
+
+    def detach_faults(self) -> None:
+        self._fault_append = None
 
     def _handle(self) -> File:
         if self._file is None or self._file.closed:
@@ -48,6 +58,15 @@ class WriteAheadLog:
         body = value or b""
         crc = zlib.crc32(key + body + bytes([flags])) & 0xFFFFFFFF
         record = _HEADER.pack(len(key), len(body), flags, crc) + key + body
+        if self._fault_append is not None:
+            # may raise; a TornWrite action persists a partial record
+            # (the torn tail replay() must stop at) and then crashes.
+            action = self._fault_append.fire(size=len(record))
+            if action is not None:
+                self.fs.append(
+                    self._handle(), record[: action.keep_bytes(len(record))]
+                )
+                action.crash()
         self.fs.append(self._handle(), record)
 
     def sync(self) -> None:

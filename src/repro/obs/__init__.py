@@ -40,11 +40,13 @@ from .exporters import dump_jsonl, format_report, jsonl_lines, prometheus_text
 from .instrument import (
     instrument_buffer,
     instrument_device,
+    instrument_faults,
     instrument_matrix_ops,
     instrument_memory,
     instrument_minikv,
     instrument_network,
     instrument_stack,
+    instrument_supervisor,
     instrument_tracepoints,
     instrument_trainer,
 )
@@ -68,11 +70,13 @@ __all__ = [
     "prometheus_text",
     "instrument_buffer",
     "instrument_device",
+    "instrument_faults",
     "instrument_matrix_ops",
     "instrument_memory",
     "instrument_minikv",
     "instrument_network",
     "instrument_stack",
+    "instrument_supervisor",
     "instrument_tracepoints",
     "instrument_trainer",
 ]

@@ -451,6 +451,22 @@ def instrument_minikv(
     compactions = registry.counter(
         "kml_minikv_compactions_total", "L0->L1 compactions"
     )
+    io_retries = registry.counter(
+        "kml_minikv_io_retries_total",
+        "Transient I/O errors absorbed by retry-with-backoff",
+    )
+    io_giveups = registry.counter(
+        "kml_minikv_io_giveups_total",
+        "Reads whose retry budget was exhausted (error propagated)",
+    )
+    wal_replayed = registry.counter(
+        "kml_minikv_wal_records_replayed_total",
+        "WAL records replayed during recovery",
+    )
+    orphans = registry.counter(
+        "kml_minikv_orphans_removed_total",
+        "Unreferenced SSTable files garbage-collected at open",
+    )
 
     def sync() -> None:
         stats = getattr(db, "stats", None)
@@ -463,6 +479,10 @@ def instrument_minikv(
         hits.sync(float(stats.get_hits))
         flushes.sync(float(stats.flushes))
         compactions.sync(float(stats.compactions))
+        io_retries.sync(float(getattr(stats, "io_retries", 0)))
+        io_giveups.sync(float(getattr(stats, "io_giveups", 0)))
+        wal_replayed.sync(float(getattr(stats, "wal_records_replayed", 0)))
+        orphans.sync(float(getattr(stats, "orphans_removed", 0)))
 
     registry.register_collect_hook(f"minikv-{id(db)}", sync)
     levels = registry.gauge(
@@ -493,7 +513,73 @@ def instrument_minikv(
         "get_hits": hits,
         "flushes": flushes,
         "compactions": compactions,
+        "io_retries": io_retries,
+        "io_giveups": io_giveups,
+        "wal_records_replayed": wal_replayed,
+        "orphans_removed": orphans,
         "get_latency": get_latency,
         "put_latency": put_latency,
         "compaction_seconds": compaction_seconds,
+    }
+
+
+# ----------------------------------------------------------------------
+# Fault injection: plane accounting + trainer supervision
+# ----------------------------------------------------------------------
+
+
+def instrument_faults(plane, registry: MetricsRegistry) -> Dict[str, object]:
+    """Injection counters per (site, kind), synced from a fault plane."""
+    injected = registry.counter(
+        "kml_faults_injected_total",
+        "Faults injected by the plane",
+        labels=("site", "kind"),
+    )
+    rules = registry.gauge(
+        "kml_faults_rules", "Rules currently armed on the plane"
+    )
+    rules.set_function(lambda: float(getattr(plane, "num_rules", 0)))
+
+    def sync() -> None:
+        counts = getattr(plane, "injection_counts", None)
+        if counts is None:
+            return
+        for (site, kind), n in counts().items():
+            injected.labels(site=site, kind=kind).sync(float(n))
+
+    registry.register_collect_hook(f"faults-{id(plane)}", sync)
+    return {"injected": injected, "rules": rules}
+
+
+def instrument_supervisor(
+    supervisor, registry: MetricsRegistry
+) -> Dict[str, object]:
+    """Trainer-supervision metrics: crashes, restarts, degraded state."""
+    crashes = registry.counter(
+        "kml_trainer_crashes_total", "Training-thread crashes observed"
+    )
+    crashes.set_function(lambda: float(getattr(supervisor, "crashes", 0)))
+    restarts = registry.counter(
+        "kml_trainer_restarts_total", "Supervisor-initiated trainer restarts"
+    )
+    restarts.set_function(lambda: float(getattr(supervisor, "restarts", 0)))
+    degraded = registry.gauge(
+        "kml_trainer_degraded",
+        "1 when the supervisor gave up and the engine is DEGRADED",
+    )
+    degraded.set_function(
+        lambda: 1.0 if getattr(supervisor, "degraded", False) else 0.0
+    )
+    consecutive = registry.gauge(
+        "kml_trainer_consecutive_failures",
+        "Crashes since the last healthy stretch",
+    )
+    consecutive.set_function(
+        lambda: float(getattr(supervisor, "consecutive_failures", 0))
+    )
+    return {
+        "crashes": crashes,
+        "restarts": restarts,
+        "degraded": degraded,
+        "consecutive_failures": consecutive,
     }

@@ -56,6 +56,16 @@ class DeviceModel:
     #: Optional per-request observer ``(duration_s, n_pages, is_write)``,
     #: installed by ``repro.obs`` to build the service-time histogram.
     service_observer: Optional[Callable[[float, int, bool], None]] = None
+    #: Optional fault-injection site handle for ``device.submit``
+    #: (duck-typed; see repro.faults); None keeps the path free.
+    _fault_submit: Optional[object] = field(default=None, repr=False)
+
+    def attach_faults(self, plane) -> None:
+        """Resolve the ``device.submit`` injection site from a plane."""
+        self._fault_submit = plane.site("device.submit")
+
+    def detach_faults(self) -> None:
+        self._fault_submit = None
 
     def __post_init__(self):
         if self.request_latency_s < 0 or self.per_page_s <= 0:
@@ -77,6 +87,13 @@ class DeviceModel:
         """
         start = max(clock.now, self._busy_until)
         duration = self.service_time(n_pages)
+        if self._fault_submit is not None:
+            # Transient errors raise here; latency spikes stretch the
+            # request and are charged to the busy timeline like any
+            # other service time.
+            action = self._fault_submit.fire(size=n_pages)
+            if action is not None:
+                duration += action.seconds
         done = start + duration
         self._busy_until = done
         self.stats.busy_time += duration

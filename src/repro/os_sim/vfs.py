@@ -169,6 +169,23 @@ class SimFS:
         self.tracepoints = tracepoints
         self._inodes: Dict[str, Inode] = {}
         self._next_ino = 1
+        # Optional fault-injection site handles (duck-typed; see
+        # repro.faults).  None when no rule targets the site, so the
+        # data path pays one `is not None` check.
+        self._fault_write = None
+        self._fault_fsync = None
+        self._fault_read = None
+
+    def attach_faults(self, plane) -> None:
+        """Resolve injection-site handles from a fault plane."""
+        self._fault_write = plane.site("vfs.write")
+        self._fault_fsync = plane.site("vfs.fsync")
+        self._fault_read = plane.site("vfs.read")
+
+    def detach_faults(self) -> None:
+        self._fault_write = None
+        self._fault_fsync = None
+        self._fault_read = None
 
     # ------------------------------------------------------------------
     # Namespace
@@ -199,6 +216,25 @@ class SimFS:
             raise FileNotFoundError(name)
         self.cache.invalidate(inode.ino)
 
+    def rename(self, old: str, new: str) -> None:
+        """Atomically move ``old`` over ``new`` (POSIX rename semantics).
+
+        The destination, if it exists, is replaced in the same step --
+        the primitive minikv's manifest update relies on for crash
+        atomicity (write MANIFEST.tmp, fsync, rename over MANIFEST).
+        """
+        inode = self._inodes.get(old)
+        if inode is None:
+            raise FileNotFoundError(old)
+        if old == new:
+            return
+        existing = self._inodes.pop(new, None)
+        if existing is not None:
+            self.cache.invalidate(existing.ino)
+        del self._inodes[old]
+        inode.name = new
+        self._inodes[new] = inode
+
     def list_files(self):
         return sorted(self._inodes)
 
@@ -217,6 +253,8 @@ class SimFS:
         self._check_open(file)
         if offset < 0 or length < 0:
             raise ValueError("offset and length must be non-negative")
+        if self._fault_read is not None:
+            self._fault_read.fire(size=length)  # may raise an injected error
         inode = file.inode
         end = min(offset + length, inode.size)
         if end <= offset:
@@ -236,10 +274,21 @@ class SimFS:
         return data
 
     def write(self, file: File, offset: int, data: bytes) -> int:
-        """Byte-range write: extend the inode, dirty the pages."""
+        """Byte-range write: extend the inode, dirty the pages.
+
+        Under fault injection the write can fail outright (injected
+        I/O error), or be *torn*: only a prefix of ``data`` becomes
+        durable before a simulated crash -- the failure mode WAL CRC
+        detection exists for.
+        """
         self._check_open(file)
         if offset < 0:
             raise ValueError("offset must be non-negative")
+        torn = None
+        if self._fault_write is not None:
+            torn = self._fault_write.fire(size=len(data))  # may raise
+            if torn is not None:
+                data = data[: torn.keep_bytes(len(data))]
         inode = file.inode
         end = offset + len(data)
         if end > inode.size:
@@ -251,6 +300,8 @@ class SimFS:
             for page in range(first_page, last_page + 1):
                 self.cache.write_page(inode.ino, page)
         file.pos = end
+        if torn is not None:
+            torn.crash()  # raises SimCrash; the prefix above is durable
         return len(data)
 
     def append(self, file: File, data: bytes) -> int:
@@ -264,6 +315,8 @@ class SimFS:
     def fsync(self, file: File) -> None:
         """Flush dirty pages and wait for the device to drain."""
         self._check_open(file)
+        if self._fault_fsync is not None:
+            self._fault_fsync.fire()  # may raise an injected error
         self.cache.sync()
 
     def close(self, file: File) -> None:

@@ -13,11 +13,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence
+from typing import Callable, Iterable, List, Optional, Sequence
 
 import numpy as np
 
 from ..kml.network import Sequential
+from ..os_sim.block_layer import DEFAULT_RA_PAGES
 from ..os_sim.stack import StorageStack
 from ..os_sim.vfs import File
 from ..runtime.circular_buffer import CircularBuffer
@@ -60,6 +61,14 @@ class ReadaheadAgent:
     sample_buffer:
         Optional circular buffer; when given, every feature snapshot is
         pushed for the async training thread (in-kernel training mode).
+    health:
+        Optional zero-arg predicate (e.g. ``TrainerSupervisor.healthy``)
+        consulted each tick.  While it returns False the agent skips
+        inference entirely and pins readahead to ``fallback_ra`` -- the
+        fault-containment behaviour when the ML plane is DEGRADED.
+    fallback_ra:
+        Readahead applied while unhealthy; defaults to the kernel
+        default (``DEFAULT_RA_PAGES``).
     """
 
     def __init__(
@@ -74,11 +83,15 @@ class ReadaheadAgent:
         dtype: str = "float32",
         smoothing: int = 1,
         confidence_threshold: float = 0.0,
+        health: Optional[Callable[[], bool]] = None,
+        fallback_ra: int = DEFAULT_RA_PAGES,
     ):
         if smoothing < 1:
             raise ValueError("smoothing must be >= 1")
         if not 0.0 <= confidence_threshold < 1.0:
             raise ValueError("confidence_threshold must be in [0, 1)")
+        if fallback_ra < 0:
+            raise ValueError("fallback_ra must be non-negative")
         self.stack = stack
         self.model = model
         self.tuning = tuning
@@ -89,16 +102,34 @@ class ReadaheadAgent:
         self.dtype = dtype
         self.smoothing = smoothing
         self.confidence_threshold = confidence_threshold
+        self.health = health
+        self.fallback_ra = fallback_ra
         self.collector = FeatureCollector(stack)
         self.history: List[AgentDecision] = []
         self._recent_classes: List[int] = []
         self.skipped_low_confidence = 0
+        self.skipped_degraded = 0
 
     # ------------------------------------------------------------------
 
     def on_tick(self, sim_time: float, rate: float) -> AgentDecision:
         """Run one observe-infer-actuate cycle (the per-window callback)."""
         features = self.collector.snapshot()
+        if self.health is not None and not self.health():
+            # ML plane degraded: do not trust the model (and do not
+            # feed the dead trainer); restore the heuristic default.
+            self.skipped_degraded += 1
+            if self.stack.block.ra_pages != self.fallback_ra:
+                self.apply(self.fallback_ra)
+            decision = AgentDecision(
+                sim_time=sim_time,
+                predicted_class=-1,
+                predicted_name="degraded",
+                ra_pages=self.fallback_ra,
+                inference_wall_s=0.0,
+            )
+            self.history.append(decision)
+            return decision
         if self.sample_buffer is not None:
             self.sample_buffer.push(features)
         wall_start = time.perf_counter_ns()

@@ -17,6 +17,7 @@ real producer/consumer threads.)
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Any, List, Optional
 
@@ -26,17 +27,25 @@ __all__ = ["CircularBuffer"]
 
 
 class CircularBuffer:
-    """Bounded SPSC FIFO with drop-on-full semantics.
+    """Bounded FIFO with drop-on-full semantics (SPSC by default).
 
     ``capacity`` is the number of usable slots.  ``push`` never blocks:
     if the consumer has fallen behind, the sample is dropped and
     ``dropped`` increments, exactly the failure mode the paper warns
     about when the training thread is not scheduled often enough.
+
+    ``producers="multi"`` serializes the producer side with a lock (the
+    stand-in for the kernel's per-CPU serialization) so several I/O
+    paths can share one ring; the consumer side stays lock-free either
+    way.  The default ``"single"`` keeps the classic lock-free SPSC
+    contract.
     """
 
-    def __init__(self, capacity: int):
+    def __init__(self, capacity: int, producers: str = "single"):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if producers not in ("single", "multi"):
+            raise ValueError("producers must be 'single' or 'multi'")
         # One slot is sacrificed to distinguish full from empty.
         self._slots: List[Optional[Any]] = [None] * (capacity + 1)
         self._capacity = capacity
@@ -45,9 +54,15 @@ class CircularBuffer:
         self._dropped = AtomicInt(0)
         self._pushed = AtomicInt(0)
         self._popped = AtomicInt(0)
+        self._push_lock = (
+            threading.Lock() if producers == "multi" else None
+        )
         # Optional observability hooks (duck-typed; see repro.obs).  The
         # producer owns the sampling counter, so plain ints are safe.
         self._obs = None
+        # Optional fault-injection site handle (duck-typed; see
+        # repro.faults): forces drops to simulate overflow pressure.
+        self._fault_push = None
 
     def attach_obs(self, hooks) -> None:
         """Install an observability hook object (``repro.obs``)."""
@@ -55,6 +70,13 @@ class CircularBuffer:
 
     def detach_obs(self) -> None:
         self._obs = None
+
+    def attach_faults(self, plane) -> None:
+        """Resolve the ``buffer.push`` injection site from a plane."""
+        self._fault_push = plane.site("buffer.push")
+
+    def detach_faults(self) -> None:
+        self._fault_push = None
 
     # ------------------------------------------------------------------
 
@@ -96,8 +118,21 @@ class CircularBuffer:
 
     def push(self, item: Any) -> bool:
         """Producer side: enqueue or drop.  Returns False on drop."""
+        lock = self._push_lock
+        if lock is None:
+            return self._push(item)
+        with lock:
+            return self._push(item)
+
+    def _push(self, item: Any) -> bool:
         if item is None:
             raise ValueError("None cannot be enqueued (it marks emptiness)")
+        fault = self._fault_push
+        if fault is not None and fault.fire() is not None:
+            # Injected overflow pressure: the sample is rejected exactly
+            # as if the ring were full, and accounted the same way.
+            self._dropped.fetch_add(1)
+            return False
         obs = self._obs
         t0 = 0.0
         if obs is not None:

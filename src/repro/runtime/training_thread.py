@@ -26,10 +26,17 @@ __all__ = ["Mode", "AsyncTrainer"]
 
 
 class Mode(enum.Enum):
-    """Operating mode of the KML engine."""
+    """Operating mode of the KML engine.
+
+    DEGRADED is the fault-containment state: the trainer crashed too
+    many times in a row, the supervisor gave up restarting it, and
+    inference callers must fall back to the default heuristic (see
+    ``repro.faults.supervisor.TrainerSupervisor``).
+    """
 
     TRAINING = "training"
     INFERENCE = "inference"
+    DEGRADED = "degraded"
 
 
 class AsyncTrainer:
@@ -41,13 +48,20 @@ class AsyncTrainer:
         The SPSC ring the data-collection hooks push into.
     train_fn:
         Called with a list of samples (the drained batch) while in
-        TRAINING mode.  Exceptions are captured, counted, and re-raised
-        on :meth:`stop` so silent failures cannot occur.
+        TRAINING mode.  Exceptions are captured (visible immediately
+        via :attr:`failed` / :attr:`error` and the ``on_error``
+        callback) and re-raised on :meth:`stop` so silent failures
+        cannot occur.
     normalize_fn:
         Optional pre-processing applied to each drained batch in *both*
         modes (feature extraction happens even when only inferencing).
     poll_interval:
         Sleep between empty polls, seconds.
+    on_error:
+        Optional callback invoked *from the dying trainer thread* with
+        the captured exception, so a crash is observable the moment it
+        happens rather than only at :meth:`stop` -- the hook the
+        trainer supervisor builds restart-with-backoff on.
     """
 
     def __init__(
@@ -57,6 +71,7 @@ class AsyncTrainer:
         normalize_fn: Optional[Callable[[List[Any]], List[Any]]] = None,
         poll_interval: float = 0.001,
         batch_size: int = 64,
+        on_error: Optional[Callable[[BaseException], None]] = None,
     ):
         if poll_interval <= 0:
             raise ValueError("poll_interval must be positive")
@@ -67,6 +82,7 @@ class AsyncTrainer:
         self.normalize_fn = normalize_fn
         self.poll_interval = poll_interval
         self.batch_size = batch_size
+        self.on_error = on_error
         self._mode = Mode.TRAINING
         self._mode_lock = threading.Lock()
         self._stop_event = threading.Event()
@@ -76,6 +92,9 @@ class AsyncTrainer:
         self.samples_seen = 0
         # Optional observability hooks (duck-typed; see repro.obs).
         self._obs = None
+        # Optional fault-injection site handle (duck-typed; see
+        # repro.faults): provokes training-thread crashes.
+        self._fault_batch = None
 
     def attach_obs(self, hooks) -> None:
         """Install an observability hook object (``repro.obs``)."""
@@ -83,6 +102,13 @@ class AsyncTrainer:
 
     def detach_obs(self) -> None:
         self._obs = None
+
+    def attach_faults(self, plane) -> None:
+        """Resolve the ``trainer.batch`` injection site from a plane."""
+        self._fault_batch = plane.site("trainer.batch")
+
+    def detach_faults(self) -> None:
+        self._fault_batch = None
 
     # ------------------------------------------------------------------
 
@@ -98,6 +124,16 @@ class AsyncTrainer:
     @property
     def running(self) -> bool:
         return self._thread is not None and self._thread.is_alive()
+
+    @property
+    def failed(self) -> bool:
+        """True the moment the trainer thread has died on an exception."""
+        return self._error is not None
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        """The exception that killed the trainer thread, if any."""
+        return self._error
 
     # ------------------------------------------------------------------
 
@@ -126,8 +162,14 @@ class AsyncTrainer:
                 if not batch:
                     break
                 self._process(batch)
-        except BaseException as exc:  # surfaced on stop()
+        except BaseException as exc:  # surfaced immediately + on stop()
             self._error = exc
+            callback = self.on_error
+            if callback is not None:
+                try:
+                    callback(exc)
+                except Exception:
+                    pass  # a broken callback must not mask the crash
 
     def _process(self, batch: List[Any]) -> None:
         obs = self._obs
@@ -136,13 +178,29 @@ class AsyncTrainer:
             batch = self.normalize_fn(batch)
         self.samples_seen += len(batch)
         if self._mode is Mode.TRAINING:
+            if self._fault_batch is not None:
+                self._fault_batch.fire()  # may raise an injected fault
             self.train_fn(batch)
             self.batches_trained += 1
         if obs is not None:
             obs.batch_latency.observe(time.perf_counter() - t0)
 
-    def stop(self, timeout: float = 5.0) -> None:
-        """Signal shutdown, join, and re-raise any captured error."""
+    def join(self, timeout: Optional[float] = None) -> None:
+        """Wait for the thread to exit without shutdown semantics.
+
+        Used by the supervisor after a crash: the thread is already
+        dying, but :meth:`start` must not race its last instructions.
+        """
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+
+    def stop(self, timeout: float = 5.0, reraise: bool = True) -> None:
+        """Signal shutdown, join, and (by default) re-raise any error.
+
+        ``reraise=False`` is for callers that already consumed the
+        failure through ``on_error`` -- the supervisor's shutdown path.
+        """
         if self._thread is None:
             return
         self._stop_event.set()
@@ -152,7 +210,8 @@ class AsyncTrainer:
         self._thread = None
         if self._error is not None:
             error, self._error = self._error, None
-            raise error
+            if reraise:
+                raise error
 
     def __enter__(self) -> "AsyncTrainer":
         return self.start()

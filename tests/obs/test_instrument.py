@@ -13,11 +13,13 @@ from repro.obs import MetricsRegistry
 from repro.obs.instrument import (
     instrument_buffer,
     instrument_device,
+    instrument_faults,
     instrument_matrix_ops,
     instrument_memory,
     instrument_minikv,
     instrument_network,
     instrument_stack,
+    instrument_supervisor,
     instrument_tracepoints,
     instrument_trainer,
 )
@@ -213,3 +215,44 @@ class TestNetwork:
         assert passes.labels(phase="forward").value == 1
         assert passes.labels(phase="backward").value == 1
         assert seconds.labels(phase="forward").value > 0.0
+
+
+class TestFaults:
+    def test_injection_counts_exported(self, registry):
+        from repro.faults import FaultKind, FaultPlane, InjectedIOError
+
+        plane = FaultPlane().inject("vfs.fsync", FaultKind.ERROR, nth=1)
+        metrics = instrument_faults(plane, registry)
+        assert metrics["rules"].value == 1.0
+        with pytest.raises(InjectedIOError):
+            plane.site("vfs.fsync").fire()
+        registry.collect()  # sync hook pulls plane counts
+        injected = metrics["injected"]
+        assert injected.labels(site="vfs.fsync", kind="error").value == 1.0
+
+    def test_supervisor_state_exported(self, registry):
+        from repro.faults import TrainerSupervisor
+
+        trainer = AsyncTrainer(CircularBuffer(4), train_fn=lambda b: None)
+        supervisor = TrainerSupervisor(trainer)
+        metrics = instrument_supervisor(supervisor, registry)
+        assert metrics["crashes"].value == 0.0
+        assert metrics["degraded"].value == 0.0
+        supervisor.crashes = 2
+        supervisor._degraded = True
+        assert metrics["crashes"].value == 2.0
+        assert metrics["degraded"].value == 1.0
+
+    def test_minikv_retry_counters_exported(self, registry):
+        stack = make_stack("nvme")
+        db = MiniKV(stack, DBOptions())
+        metrics = instrument_minikv(db, registry)
+        db.stats.io_retries = 3
+        db.stats.io_giveups = 1
+        db.stats.wal_records_replayed = 7
+        db.stats.orphans_removed = 2
+        registry.collect()
+        assert metrics["io_retries"].value == 3.0
+        assert metrics["io_giveups"].value == 1.0
+        assert metrics["wal_records_replayed"].value == 7.0
+        assert metrics["orphans_removed"].value == 2.0

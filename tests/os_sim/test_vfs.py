@@ -38,6 +38,38 @@ class TestNamespace:
         assert not stack.fs.exists("a")
         assert len(stack.cache) == 0
 
+    def test_rename_moves_inode(self, stack):
+        f = stack.fs.open("a", create=True)
+        stack.fs.write(f, 0, b"payload")
+        stack.fs.rename("a", "b")
+        assert not stack.fs.exists("a")
+        assert stack.fs.exists("b")
+        handle = stack.fs.open("b")
+        assert handle.inode.name == "b"
+        assert stack.fs.read(handle, 0, 7) == b"payload"
+
+    def test_rename_replaces_destination(self, stack):
+        src = stack.fs.open("src", create=True)
+        stack.fs.write(src, 0, b"new")
+        dst = stack.fs.open("dst", create=True)
+        stack.fs.write(dst, 0, b"z" * PAGE_SIZE)
+        stack.fs.rename("src", "dst")
+        assert not stack.fs.exists("src")
+        handle = stack.fs.open("dst")
+        assert stack.fs.read(handle, 0, 3) == b"new"
+        # The replaced inode's cached pages must be gone.
+        assert (dst.inode.ino, 0) not in stack.cache
+
+    def test_rename_missing_source_rejected(self, stack):
+        with pytest.raises(FileNotFoundError):
+            stack.fs.rename("ghost", "x")
+
+    def test_rename_onto_itself_is_noop(self, stack):
+        f = stack.fs.open("a", create=True)
+        stack.fs.write(f, 0, b"keep")
+        stack.fs.rename("a", "a")
+        assert stack.fs.read(stack.fs.open("a"), 0, 4) == b"keep"
+
     def test_unlink_missing(self, stack):
         with pytest.raises(FileNotFoundError):
             stack.fs.unlink("ghost")

@@ -132,6 +132,41 @@ class TestAgent:
         assert agent.collector.events_seen == 0
 
 
+class TestDegradedFallback:
+    def test_unhealthy_plane_pins_fallback_ra(self, trained_deployable, tuning):
+        """While the health predicate is False the agent must not run
+        inference (nor feed the trainer) and must restore the default
+        heuristic readahead -- the TrainerSupervisor DEGRADED contract."""
+        stack = make_stack("nvme", ra_pages=128)
+        buffer = CircularBuffer(16)
+        healthy = [True]
+        agent = ReadaheadAgent(
+            stack, trained_deployable, tuning, "nvme",
+            sample_buffer=buffer, health=lambda: healthy[0], fallback_ra=64,
+        )
+        feed_random_pattern(stack, np.random.default_rng(6), n=200)
+        agent.on_tick(0.1, 1.0)
+        assert len(buffer) == 1  # healthy: sample pushed, model actuated
+        healthy[0] = False
+        decision = agent.on_tick(0.2, 1.0)
+        assert decision.predicted_name == "degraded"
+        assert stack.block.ra_pages == 64
+        assert len(buffer) == 1  # no new sample for the dead trainer
+        assert agent.skipped_degraded == 1
+        healthy[0] = True
+        feed_random_pattern(stack, np.random.default_rng(7), n=200)
+        agent.on_tick(0.3, 1.0)  # recovery: inference resumes
+        assert len(buffer) == 2
+        assert agent.history[-1].predicted_name != "degraded"
+
+    def test_fallback_ra_validation(self, trained_deployable, tuning):
+        stack = make_stack("nvme", ra_pages=128)
+        with pytest.raises(ValueError):
+            ReadaheadAgent(
+                stack, trained_deployable, tuning, "nvme", fallback_ra=-1
+            )
+
+
 class TestBandit:
     def test_plays_every_arm_first(self):
         stack = make_stack("nvme", ra_pages=128)

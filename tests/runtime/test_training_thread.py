@@ -100,6 +100,56 @@ class TestFailure:
         with pytest.raises(RuntimeError, match="bad batch"):
             trainer.stop()
 
+    def test_failure_visible_immediately_not_only_at_stop(self):
+        """Regression: a dead trainer must be observable the moment it
+        dies -- ``failed``/``error`` flip and ``on_error`` fires from
+        the dying thread -- not only when ``stop()`` re-raises."""
+        buf = CircularBuffer(8)
+        caught = []
+
+        def explode(batch):
+            raise RuntimeError("prompt surfacing")
+
+        trainer = AsyncTrainer(buf, train_fn=explode, on_error=caught.append)
+        trainer.start()
+        assert not trainer.failed
+        buf.push(1)
+        assert wait_until(lambda: trainer.failed)
+        assert isinstance(trainer.error, RuntimeError)
+        assert len(caught) == 1 and caught[0] is trainer.error
+        with pytest.raises(RuntimeError, match="prompt surfacing"):
+            trainer.stop()
+        assert trainer.error is None  # consumed by stop()
+
+    def test_stop_reraise_false_swallows_consumed_error(self):
+        buf = CircularBuffer(8)
+
+        def explode(batch):
+            raise RuntimeError("already handled")
+
+        trainer = AsyncTrainer(buf, train_fn=explode)
+        trainer.start()
+        buf.push(1)
+        assert wait_until(lambda: trainer.failed)
+        trainer.stop(reraise=False)  # supervisor path: no re-raise
+        assert trainer.error is None
+
+    def test_broken_on_error_callback_does_not_mask_crash(self):
+        buf = CircularBuffer(8)
+
+        def explode(batch):
+            raise RuntimeError("real failure")
+
+        def broken_callback(exc):
+            raise ValueError("callback bug")
+
+        trainer = AsyncTrainer(buf, train_fn=explode, on_error=broken_callback)
+        trainer.start()
+        buf.push(1)
+        assert wait_until(lambda: trainer.failed)
+        with pytest.raises(RuntimeError, match="real failure"):
+            trainer.stop()
+
     def test_batch_counter(self):
         buf = CircularBuffer(64)
         trainer = AsyncTrainer(buf, train_fn=lambda b: None, batch_size=4)

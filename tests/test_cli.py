@@ -12,7 +12,8 @@ from repro.cli import build_parser, main
 class TestParser:
     def test_all_subcommands_registered(self):
         parser = build_parser()
-        for command in ("collect", "train", "sweep", "run", "inspect", "obs"):
+        for command in ("collect", "train", "sweep", "run", "inspect", "obs",
+                        "faults"):
             args = {
                 "collect": ["collect", "--output", "x.npz"],
                 "train": ["train", "--data", "d.npz", "--output", "m.kml"],
@@ -20,6 +21,7 @@ class TestParser:
                 "run": ["run", "--model", "m.kml", "--tuning", "t.json"],
                 "inspect": ["inspect", "m.kml"],
                 "obs": ["obs", "--workload", "readrandom"],
+                "faults": ["faults", "--list"],
             }[command]
             assert parser.parse_args(args).command == command
 
@@ -134,6 +136,42 @@ class TestObs:
         records = [json.loads(line)
                    for line in jsonl.read_text().splitlines()]
         assert any(r["kind"] == "span" for r in records)
+
+
+class TestFaults:
+    def test_list_scenarios(self, capsys):
+        assert main(["faults", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("flaky-device", "torn-wal", "trainer-crash"):
+            assert name in out
+
+    def test_no_action_is_usage_error(self, capsys):
+        assert main(["faults"]) == 2
+        assert "nothing to do" in capsys.readouterr().out
+
+    def test_crash_matrix_smoke(self, capsys):
+        code = main(["faults", "--crash-matrix", "--seeds", "1",
+                     "--sites", "minikv.flush.after_build,minikv.wal.append"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 cases, 2 ok, 0 failed" in out
+
+    def test_crash_matrix_rejects_unknown_site(self, capsys):
+        assert main(["faults", "--crash-matrix", "--sites", "nope"]) == 2
+        assert "unknown sites: nope" in capsys.readouterr().out
+
+    def test_scenario_run_reports_injections(self, capsys):
+        code = main(["faults", "--scenario", "flaky-device", "--ops", "400"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scenario 'flaky-device'" in out
+        assert "kml_faults_rules: 1" in out
+
+    def test_torn_wal_scenario_recovers(self, capsys):
+        code = main(["faults", "--scenario", "torn-wal", "--ops", "400"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "simulated crashes (+ recoveries): 1" in out
 
 
 class TestReport:
