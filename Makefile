@@ -1,11 +1,11 @@
 # Convenience targets for the KML reproduction.
 
-.PHONY: install test obs-check faults-check bench report clean
+.PHONY: install test obs-check faults-check serve-check bench report clean
 
 install:
 	pip install -e . || python setup.py develop
 
-test: obs-check faults-check
+test: obs-check faults-check serve-check
 	pytest tests/
 
 # Observability gate: the obs unit tests plus the instrumentation
@@ -21,6 +21,14 @@ obs-check:
 faults-check:
 	FAULTS_STRESS=1 pytest tests/faults/ -q
 	python benchmarks/bench_faults_overhead.py --smoke
+
+# Serving gate: the serve unit tests plus the long hot-swap storms
+# (SERVE_STRESS=1) and the serving benchmark in smoke mode, which
+# asserts the inline pass-through overhead budget and writes
+# BENCH_serve.json (see docs/SERVING.md).
+serve-check:
+	SERVE_STRESS=1 pytest tests/serve/ -q
+	python benchmarks/bench_serve.py --smoke
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -1,0 +1,286 @@
+"""Serving-plane benchmark: pass-through overhead and micro-batch sweep.
+
+Two questions, mirroring docs/SERVING.md:
+
+- **pass-through overhead** (budgeted): with batching disabled
+  (``num_workers=0``) the engine serves on the caller's thread, so its
+  cost over a bare ``snapshot.predict`` call is pure bookkeeping --
+  the budget is < 5%.  Timing interleaves bare and engine runs and
+  keeps the lowest-overhead pair, so a load spike cannot bias one side
+  (same discipline as bench_faults_overhead.py);
+- **micro-batch sweep** (informational): throughput and p50/p99
+  latency across three batch-window settings plus the inline
+  pass-through entry, under a bounded-in-flight closed loop.  Wider
+  windows trade tail latency for larger coalesced forward passes.
+
+Runs three ways:
+
+- ``python benchmarks/bench_serve.py`` -- full run, asserts the
+  budget, writes ``BENCH_serve.json`` at the repo root and
+  ``benchmarks/results/serve.txt``;
+- ``... --smoke`` -- fewer requests (the ``make serve-check`` path);
+  still writes ``BENCH_serve.json``;
+- ``pytest benchmarks/bench_serve.py`` -- budget check as a test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from collections import deque
+from typing import Callable, Dict, List, Optional, Tuple
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from common import write_result  # noqa: E402
+
+import numpy as np  # noqa: E402
+
+from repro.kml.layers import Linear  # noqa: E402
+from repro.kml.network import Sequential  # noqa: E402
+from repro.readahead.model import build_network  # noqa: E402
+from repro.serve import InferenceEngine, ModelRegistry, ServeConfig  # noqa: E402
+
+#: The acceptance budget for batching-disabled serving.
+MAX_PASSTHROUGH_OVERHEAD = 0.05
+
+#: The three micro-batch windows swept (plus the inline entry).
+BATCH_WINDOWS_S = (0.0, 0.001, 0.004)
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_JSON = os.path.join(_REPO_ROOT, "BENCH_serve.json")
+
+_SMOKE = bool(int(os.environ.get("SERVE_BENCH_SMOKE", "0")))
+
+
+def _iters(full: int) -> int:
+    return full // 10 if _SMOKE else full
+
+
+def _classifier() -> Sequential:
+    """The deployed readahead classifier: fused zscore + 3-layer net."""
+    rng = np.random.default_rng(0)
+    deploy = Sequential(name="bench-deploy")
+    deploy.add(Linear(5, 5, dtype="float32", rng=rng, name="zscore"))
+    for layer in build_network(rng=rng).layers:
+        deploy.add(layer)
+    return deploy
+
+
+def _fresh_registry() -> ModelRegistry:
+    registry = ModelRegistry(tempfile.mkdtemp(prefix="bench-serve-"))
+    registry.publish(_classifier(), activate=True)
+    return registry
+
+
+def _min_overhead_pair(
+    run_base: Callable[[], float],
+    run_inst: Callable[[], float],
+    repeats: int = 7,
+) -> Tuple[float, float, float]:
+    """(base req/s, engine req/s, overhead) from the best interleaved pair."""
+    run_base(), run_inst()  # warm up caches / allocators
+    best: Optional[Tuple[float, float, float]] = None
+    for _ in range(repeats):
+        base = run_base()
+        inst = run_inst()
+        overhead = base / inst - 1.0
+        if best is None or overhead < best[2]:
+            best = (base, inst, overhead)
+    assert best is not None
+    return best
+
+
+# ----------------------------------------------------------------------
+# Pass-through overhead
+# ----------------------------------------------------------------------
+
+
+def measure_passthrough_overhead(
+    iters: Optional[int] = None,
+) -> Tuple[float, float, float]:
+    """Bare ``snapshot.predict`` vs. the engine's inline predict path."""
+    n = iters if iters is not None else _iters(2_000)
+    registry = _fresh_registry()
+    snapshot = registry.active()
+    rng = np.random.default_rng(0)
+    rows = rng.normal(size=(n, snapshot.n_features))
+    rows_2d = rows.reshape(n, 1, -1)
+
+    def run_bare() -> float:
+        predict = snapshot.predict
+        t0 = time.perf_counter()
+        for row in rows_2d:
+            predict(row)
+        return n / (time.perf_counter() - t0)
+
+    engine = InferenceEngine(registry, ServeConfig(num_workers=0)).start()
+
+    def run_engine() -> float:
+        predict = engine.predict
+        t0 = time.perf_counter()
+        for row in rows:
+            predict(row)
+        return n / (time.perf_counter() - t0)
+
+    try:
+        return _min_overhead_pair(run_bare, run_engine)
+    finally:
+        engine.stop()
+
+
+# ----------------------------------------------------------------------
+# Micro-batch sweep
+# ----------------------------------------------------------------------
+
+
+def measure_setting(
+    workers: int,
+    window_s: float,
+    requests: Optional[int] = None,
+    inflight: int = 64,
+) -> Dict[str, float]:
+    """Throughput + latency for one engine configuration.
+
+    A bounded-in-flight closed loop (``inflight`` outstanding requests)
+    keeps batches full without letting queue depth dominate the
+    latency percentiles.
+    """
+    n = requests if requests is not None else _iters(4_000)
+    registry = _fresh_registry()
+    rng = np.random.default_rng(1)
+    rows = rng.normal(size=(n, registry.active().n_features))
+    config = ServeConfig(
+        num_workers=workers,
+        batch_window_s=window_s,
+        max_batch_size=16,
+        queue_capacity=max(inflight * 2, 8),
+    )
+    results = []
+    with InferenceEngine(registry, config) as engine:
+        pending = deque()
+        t0 = time.perf_counter()
+        for row in rows:
+            pending.append(engine.submit(row))
+            if len(pending) >= inflight:
+                results.append(pending.popleft().result(30.0))
+        while pending:
+            results.append(pending.popleft().result(30.0))
+        elapsed = time.perf_counter() - t0
+    latencies = np.array([r.latency_s for r in results])
+    batches = np.array([r.batch_size for r in results])
+    return {
+        "workers": workers,
+        "batch_window_s": window_s,
+        "requests": n,
+        "throughput_rps": n / elapsed,
+        "p50_us": float(np.percentile(latencies, 50) * 1e6),
+        "p99_us": float(np.percentile(latencies, 99) * 1e6),
+        "mean_batch": float(batches.mean()),
+        "max_batch": int(batches.max()),
+    }
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+
+
+def _label(setting: Dict[str, float]) -> str:
+    if setting["workers"] == 0:
+        return "inline pass-through"
+    return (f"{setting['workers']}w window "
+            f"{setting['batch_window_s'] * 1e3:.0f}ms")
+
+
+def _row(setting: Dict[str, float]) -> str:
+    return (
+        f"{_label(setting):<24} {setting['throughput_rps'] / 1e3:>10.1f} "
+        f"{setting['p50_us']:>9.0f} {setting['p99_us']:>9.0f} "
+        f"{setting['mean_batch']:>10.1f}"
+    )
+
+
+def run(smoke: bool = False, write: bool = True) -> int:
+    global _SMOKE
+    _SMOKE = _SMOKE or smoke
+
+    base, engine, overhead = measure_passthrough_overhead()
+    settings: List[Dict[str, float]] = [measure_setting(0, 0.0)]
+    for window in BATCH_WINDOWS_S:
+        settings.append(measure_setting(2, window))
+
+    lines = [
+        "Serving-plane benchmark (micro-batched inference engine)",
+        f"pass-through: bare {base / 1e3:.1f}k req/s, engine "
+        f"{engine / 1e3:.1f}k req/s, overhead {overhead * 100:.1f}% "
+        f"(budget < {MAX_PASSTHROUGH_OVERHEAD * 100:.0f}%)",
+        f"{'configuration':<24} {'kreq/s':>10} {'p50 us':>9} {'p99 us':>9} "
+        f"{'mean batch':>10}",
+    ]
+    lines += [_row(s) for s in settings]
+    lines.append("wider windows trade tail latency for larger coalesced "
+                 "forward passes (see docs/SERVING.md)")
+    text = "\n".join(lines)
+
+    payload = {
+        "passthrough_overhead": {
+            "bare_rps": base,
+            "engine_rps": engine,
+            "overhead": overhead,
+            "budget": MAX_PASSTHROUGH_OVERHEAD,
+        },
+        "settings": settings,
+        "smoke": _SMOKE,
+    }
+    if write:
+        with open(BENCH_JSON, "w") as f:
+            json.dump(payload, f, indent=2)
+            f.write("\n")
+    if write and not _SMOKE:
+        write_result("serve.txt", text)
+    else:
+        print("\n" + text)
+        if write:
+            print(f"wrote {BENCH_JSON}")
+
+    if overhead >= MAX_PASSTHROUGH_OVERHEAD:
+        print(
+            f"FAIL: pass-through overhead {overhead * 100:.1f}% exceeds "
+            f"{MAX_PASSTHROUGH_OVERHEAD * 100:.0f}% budget"
+        )
+        return 1
+    return 0
+
+
+# -- pytest entry points ------------------------------------------------
+
+
+def test_passthrough_within_budget():
+    _, _, overhead = measure_passthrough_overhead(iters=500)
+    assert overhead < MAX_PASSTHROUGH_OVERHEAD, (
+        f"pass-through overhead {overhead * 100:.1f}%"
+    )
+
+
+def test_batched_setting_reports_complete():
+    setting = measure_setting(2, 0.001, requests=256)
+    assert setting["throughput_rps"] > 0
+    assert setting["p99_us"] >= setting["p50_us"]
+    assert setting["mean_batch"] >= 1.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="fewer requests (CI smoke mode)")
+    args = parser.parse_args(argv)
+    return run(smoke=args.smoke)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,8 +9,13 @@ Subcommands mirror the paper's workflow stages:
     repro inspect    describe a saved .kml model file
     repro obs        run a workload fully instrumented; export metrics
     repro faults     inject faults: named scenarios or the crash matrix
+    repro serve      manage the model registry; run the serving benchmark
 
 Invoke as ``python -m repro <subcommand> --help``.
+
+Exit codes are distinct by failure class so scripts can branch on them:
+0 success, 1 unexpected error, 2 usage error, 3 file/I-O error, 4
+damaged model file, 5 bad configuration value.
 """
 
 from __future__ import annotations
@@ -22,13 +27,26 @@ from typing import List, Optional
 
 import numpy as np
 
+from . import __version__
+
 __all__ = ["main", "build_parser"]
+
+#: Exit codes (stable; scripts and tests rely on the distinction).
+EXIT_OK = 0
+EXIT_ERROR = 1          # unexpected failure
+EXIT_USAGE = 2          # bad arguments (argparse uses 2 as well)
+EXIT_IO = 3             # missing file / OS-level I/O failure
+EXIT_MODEL_FORMAT = 4   # damaged or unreadable .kml model image
+EXIT_CONFIG = 5         # semantically invalid configuration value
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="KML (HotStorage '21) reproduction toolkit",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -118,6 +136,34 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--value-size", type=int, default=100)
     faults.add_argument("--device", default="nvme", choices=("nvme", "ssd"))
     faults.add_argument("--seed", type=int, default=42)
+
+    serve = sub.add_parser(
+        "serve",
+        help="manage the versioned model registry; run the serving bench",
+    )
+    serve.add_argument("--registry", required=True,
+                       help="registry directory (created if missing)")
+    serve.add_argument("--list", action="store_true", dest="list_versions",
+                       help="describe the registry contents")
+    serve.add_argument("--model", default=None,
+                       help="publish this .kml model as the next version")
+    serve.add_argument("--activate", type=int, default=None, metavar="N",
+                       help="activate version N (hot-swap)")
+    serve.add_argument("--bench", action="store_true",
+                       help="run an in-process serving benchmark against "
+                            "the active version")
+    serve.add_argument("--shadow", type=int, default=None, metavar="N",
+                       help="with --bench: mirror sampled traffic to "
+                            "candidate version N and report the deltas")
+    serve.add_argument("--requests", type=int, default=2000,
+                       help="requests to serve in --bench")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="worker threads (0 = inline pass-through)")
+    serve.add_argument("--batch-window", type=float, default=0.002,
+                       help="micro-batch window in seconds")
+    serve.add_argument("--max-batch", type=int, default=16,
+                       help="max rows per coalesced forward pass")
+    serve.add_argument("--seed", type=int, default=42)
 
     report = sub.add_parser(
         "report", help="assemble benchmark results into one summary"
@@ -516,6 +562,97 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Registry management + an in-process serving benchmark."""
+    from .serve import InferenceEngine, ModelRegistry, ServeConfig, ShadowDeployer
+
+    if not (args.list_versions or args.model or args.activate is not None
+            or args.bench):
+        print(
+            "nothing to do: pass --list, --model PATH, --activate N, "
+            "and/or --bench",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    if args.shadow is not None and not args.bench:
+        print("--shadow only makes sense with --bench", file=sys.stderr)
+        return EXIT_USAGE
+
+    registry = ModelRegistry(args.registry)
+    if args.model:
+        from .kml.model_io import ModelFormatError
+
+        try:
+            version = registry.publish(args.model)
+        except Exception as exc:
+            # Surface a damaged .kml file as such (exit code 4), not as
+            # a generic registry failure.
+            if isinstance(exc.__cause__, ModelFormatError):
+                raise exc.__cause__
+            raise
+        print(f"published {args.model} as v{version:05d}")
+    if args.activate is not None:
+        snapshot = registry.activate(args.activate)
+        print(f"activated v{snapshot.version:05d} ({snapshot.kind}, "
+              f"{snapshot.dtype})")
+    if args.list_versions:
+        print(registry.describe())
+    if not args.bench:
+        return EXIT_OK
+
+    if registry.active() is None:
+        versions = registry.versions()
+        if not versions:
+            print("registry is empty; publish a model first", file=sys.stderr)
+            return EXIT_CONFIG
+        registry.activate(versions[-1])
+        print(f"auto-activated latest version v{versions[-1]:05d}")
+    snapshot = registry.active()
+    if snapshot.n_features < 1:
+        print("active model exposes no feature width; cannot synthesize "
+              "bench traffic", file=sys.stderr)
+        return EXIT_CONFIG
+
+    config = ServeConfig(
+        batch_window_s=args.batch_window,
+        max_batch_size=args.max_batch,
+        num_workers=args.workers,
+        queue_capacity=max(args.requests, 1),
+    )
+    rng = np.random.default_rng(args.seed)
+    x = rng.normal(size=(args.requests, snapshot.n_features))
+    engine = InferenceEngine(registry, config)
+    shadow = None
+    if args.shadow is not None:
+        shadow = ShadowDeployer(registry, args.shadow, sample_every=2)
+        engine.set_shadow(shadow)
+    import time as _time
+    with engine:
+        t0 = _time.perf_counter()
+        pending = [engine.submit(row) for row in x]
+        results = [p.result(30.0) for p in pending]
+        elapsed = _time.perf_counter() - t0
+    latencies = np.array([r.latency_s for r in results])
+    batch_sizes = np.array([r.batch_size for r in results])
+    mode = "inline pass-through" if args.workers == 0 else (
+        f"{args.workers} worker(s), window {args.batch_window * 1e3:.2f}ms, "
+        f"max batch {args.max_batch}"
+    )
+    print(f"served {len(results)} requests against v{snapshot.version:05d} "
+          f"({mode})")
+    print(f"  throughput : {len(results) / elapsed:,.0f} req/s")
+    print(f"  latency    : p50 {np.percentile(latencies, 50) * 1e6:.0f}us  "
+          f"p99 {np.percentile(latencies, 99) * 1e6:.0f}us")
+    print(f"  batch size : mean {batch_sizes.mean():.1f}  "
+          f"max {int(batch_sizes.max())}")
+    print(f"  admission  : admitted {engine.admission.admitted}  "
+          f"rejected {engine.admission.rejected}  "
+          f"shed {engine.admission.shed_deadline}")
+    if shadow is not None:
+        print(shadow.report().describe())
+    return EXIT_OK
+
+
 def _cmd_report(args) -> int:
     import glob
     import os
@@ -550,13 +687,32 @@ _COMMANDS = {
     "inspect": _cmd_inspect,
     "obs": _cmd_obs,
     "faults": _cmd_faults,
+    "serve": _cmd_serve,
     "report": _cmd_report,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    from .kml.model_io import ModelFormatError
+
+    try:
+        return _COMMANDS[args.command](args)
+    except ModelFormatError as exc:
+        print(f"repro: damaged model file: {exc}", file=sys.stderr)
+        return EXIT_MODEL_FORMAT
+    except OSError as exc:
+        # Covers FileNotFoundError, PermissionError, disk-level failures.
+        print(f"repro: i/o error: {exc}", file=sys.stderr)
+        return EXIT_IO
+    except (ValueError, KeyError) as exc:
+        print(f"repro: bad configuration: {exc}", file=sys.stderr)
+        return EXIT_CONFIG
+    except KeyboardInterrupt:
+        return EXIT_ERROR
+    except Exception as exc:  # noqa: BLE001 - CLI boundary, exit code 1
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":

@@ -126,6 +126,15 @@ SITES: Dict[str, Tuple[str, Tuple[FaultKind, ...]]] = {
         "Crash point: MANIFEST.tmp durable, rename not yet performed",
         (FaultKind.CRASH,),
     ),
+    "serve.registry.load": (
+        "ModelRegistry load: corrupt/truncate the model image in flight",
+        (FaultKind.CORRUPT, FaultKind.ERROR),
+    ),
+    "serve.worker.batch": (
+        "InferenceEngine worker batch: fail the batch, or crash the "
+        "worker thread (supervised restart)",
+        (FaultKind.ERROR, FaultKind.CRASH),
+    ),
 }
 
 

@@ -20,7 +20,13 @@ from .metrics import (
     k_fold_cross_validate,
     KFoldResult,
 )
-from .model_io import save_model, load_model, ModelFormatError
+from .model_io import (
+    save_model,
+    load_model,
+    dump_model,
+    parse_model,
+    ModelFormatError,
+)
 from .quantize import QuantizedLinear, quantize_model, quantization_error
 from .rnn import LSTMCell, LSTMClassifier
 from .layers import BatchNorm1d, LayerNorm
@@ -61,6 +67,8 @@ __all__ = [
     "KFoldResult",
     "save_model",
     "load_model",
+    "dump_model",
+    "parse_model",
     "ModelFormatError",
     "QuantizedLinear",
     "quantize_model",

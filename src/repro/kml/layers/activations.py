@@ -29,6 +29,9 @@ class Sigmoid(Layer):
         self._output = x.sigmoid()
         return self._output
 
+    def infer(self, x: Matrix) -> Matrix:
+        return x.sigmoid()
+
     def backward(self, grad_output: Matrix) -> Matrix:
         if self._output is None:
             raise RuntimeError(f"{self.name}: backward() before forward()")
@@ -51,6 +54,9 @@ class ReLU(Layer):
         self._mask = Matrix(mask, dtype=x.dtype)
         return x.relu()
 
+    def infer(self, x: Matrix) -> Matrix:
+        return x.relu()
+
     def backward(self, grad_output: Matrix) -> Matrix:
         if self._mask is None:
             raise RuntimeError(f"{self.name}: backward() before forward()")
@@ -69,6 +75,9 @@ class Tanh(Layer):
     def forward(self, x: Matrix) -> Matrix:
         self._output = x.tanh()
         return self._output
+
+    def infer(self, x: Matrix) -> Matrix:
+        return x.tanh()
 
     def backward(self, grad_output: Matrix) -> Matrix:
         if self._output is None:

@@ -63,6 +63,18 @@ class Layer:
     def backward(self, grad_output: Matrix) -> Matrix:
         raise NotImplementedError
 
+    def infer(self, x: Matrix) -> Matrix:
+        """Forward pass for inference only: eval semantics, no caching.
+
+        Unlike :meth:`forward`, ``infer`` must not write any shared
+        layer state (cached activations, masks, running statistics), so
+        concurrent calls from multiple serving threads are safe.  The
+        base implementation falls back to :meth:`forward` -- correct
+        only for layers whose forward is already pure; stateful layers
+        override it.
+        """
+        return self.forward(x)
+
     def parameters(self) -> List[Parameter]:
         """Trainable parameters; stateless layers return an empty list."""
         return []

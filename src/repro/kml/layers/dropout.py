@@ -48,6 +48,10 @@ class Dropout(Layer):
         self._mask = Matrix(mask, dtype=x.dtype)
         return x * self._mask
 
+    def infer(self, x: Matrix) -> Matrix:
+        # Inverted dropout is the identity at inference time.
+        return x
+
     def backward(self, grad_output: Matrix) -> Matrix:
         if self._mask is None:
             return grad_output

@@ -53,6 +53,15 @@ class Linear(Layer):
         self._input = x
         return x @ self.weight.value + self.bias.value
 
+    def infer(self, x: Matrix) -> Matrix:
+        # Same affine map as forward, but no cached input: safe for
+        # concurrent inference threads sharing one layer instance.
+        if x.cols != self.in_features:
+            raise ValueError(
+                f"{self.name}: expected {self.in_features} input features, got {x.cols}"
+            )
+        return x @ self.weight.value + self.bias.value
+
     def backward(self, grad_output: Matrix) -> Matrix:
         if self._input is None:
             raise RuntimeError(f"{self.name}: backward() before forward()")

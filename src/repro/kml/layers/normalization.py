@@ -73,6 +73,19 @@ class BatchNorm1d(Layer):
         out = normalized * self.gamma.value.to_numpy() + self.beta.value.to_numpy()
         return Matrix(out, dtype=x.dtype)
 
+    def infer(self, x: Matrix) -> Matrix:
+        # Running-statistics normalization with no cache writes and no
+        # running-estimate updates: concurrent inference is safe.
+        if x.cols != self.num_features:
+            raise ValueError(
+                f"{self.name}: expected {self.num_features} features, got {x.cols}"
+            )
+        real = x.to_numpy()
+        inv_std = 1.0 / np.sqrt(self.running_var + _EPS)
+        normalized = (real - self.running_mean) * inv_std
+        out = normalized * self.gamma.value.to_numpy() + self.beta.value.to_numpy()
+        return Matrix(out, dtype=x.dtype)
+
     def backward(self, grad_output: Matrix) -> Matrix:
         if self._cache is None:
             raise RuntimeError(f"{self.name}: backward() before forward()")
@@ -130,6 +143,18 @@ class LayerNorm(Layer):
         inv_std = 1.0 / np.sqrt(var + _EPS)
         normalized = (real - mean) * inv_std
         self._cache = (normalized, inv_std)
+        out = normalized * self.gamma.value.to_numpy() + self.beta.value.to_numpy()
+        return Matrix(out, dtype=x.dtype)
+
+    def infer(self, x: Matrix) -> Matrix:
+        if x.cols != self.num_features:
+            raise ValueError(
+                f"{self.name}: expected {self.num_features} features, got {x.cols}"
+            )
+        real = x.to_numpy()
+        mean = real.mean(axis=1, keepdims=True)
+        var = real.var(axis=1, keepdims=True)
+        normalized = (real - mean) / np.sqrt(var + _EPS)
         out = normalized * self.gamma.value.to_numpy() + self.beta.value.to_numpy()
         return Matrix(out, dtype=x.dtype)
 

@@ -35,6 +35,9 @@ class Softmax(Layer):
         self._output = x.softmax(axis=1)
         return self._output
 
+    def infer(self, x: Matrix) -> Matrix:
+        return x.softmax(axis=1)
+
     def backward(self, grad_output: Matrix) -> Matrix:
         if self._output is None:
             raise RuntimeError(f"{self.name}: backward() before forward()")

@@ -45,6 +45,8 @@ __all__ = [
     "ModelFormatError",
     "save_model",
     "load_model",
+    "dump_model",
+    "parse_model",
     "set_fault_hook",
     "MAGIC",
     "VERSION",
@@ -268,8 +270,14 @@ def _decode_tree(buf: BinaryIO) -> DecisionTreeClassifier:
 Model = Union[Sequential, DecisionTreeClassifier]
 
 
-def save_model(model: Model, path: str) -> None:
-    """Serialize a model to ``path`` in the KML file format."""
+def dump_model(model: Model) -> bytes:
+    """Serialize a model to the complete KML file image (CRC included).
+
+    ``parse_model(dump_model(m))`` round-trips, and re-serializing the
+    parsed model is bit-identical -- the portability property the paper
+    relies on to hand models between user space and the kernel.  The
+    model registry (``repro.serve``) stores these images verbatim.
+    """
     if isinstance(model, Sequential):
         kind, payload = _KIND_SEQUENTIAL, _encode_sequential(model)
     elif isinstance(model, DecisionTreeClassifier):
@@ -279,17 +287,23 @@ def save_model(model: Model, path: str) -> None:
     header = MAGIC + struct.pack("<IBQ", VERSION, kind, len(payload))
     body = header + payload
     crc = zlib.crc32(body) & 0xFFFFFFFF
+    return body + struct.pack("<I", crc)
+
+
+def save_model(model: Model, path: str) -> None:
+    """Serialize a model to ``path`` in the KML file format."""
+    data = dump_model(model)
     with open(path, "wb") as f:
-        f.write(body)
-        f.write(struct.pack("<I", crc))
+        f.write(data)
 
 
-def load_model(path: str) -> Model:
-    """Load and validate a model file; raises ModelFormatError on damage."""
-    with open(path, "rb") as f:
-        data = f.read()
-    if _fault_hook is not None:
-        data = _fault_hook(data)
+def parse_model(data: bytes) -> Model:
+    """Validate and decode a complete KML file image.
+
+    Raises :class:`ModelFormatError` for any corruption, truncation, or
+    version mismatch; a byte-identical CRC check runs first, so a
+    single flipped bit anywhere in the image is rejected.
+    """
     if len(data) < len(MAGIC) + 13 + 4:
         raise ModelFormatError("file too small to be a KML model")
     body, crc_raw = data[:-4], data[-4:]
@@ -316,3 +330,12 @@ def load_model(path: str) -> Model:
     if payload_buf.read(1):
         raise ModelFormatError("trailing bytes inside payload")
     return model
+
+
+def load_model(path: str) -> Model:
+    """Load and validate a model file; raises ModelFormatError on damage."""
+    with open(path, "rb") as f:
+        data = f.read()
+    if _fault_hook is not None:
+        data = _fault_hook(data)
+    return parse_model(data)

@@ -62,6 +62,24 @@ class Sequential:
 
     __call__ = forward
 
+    def infer(self, x: Matrix) -> Matrix:
+        """Inference-only traversal: eval semantics, no shared-state writes.
+
+        Uses each layer's :meth:`~repro.kml.layers.base.Layer.infer`, so
+        nothing is cached for a later ``backward()`` and the running
+        statistics of normalization layers are left untouched.  Safe to
+        call concurrently from many serving threads over one model
+        instance; reported to the pass observer as a forward traversal.
+        """
+        obs = _pass_observer
+        t0 = time.perf_counter() if obs is not None else 0.0
+        out = x
+        for layer in self.layers:
+            out = layer.infer(out)
+        if obs is not None:
+            obs("forward", time.perf_counter() - t0)
+        return out
+
     def backward(self, grad_output: Matrix) -> Matrix:
         """Propagate gradients in reverse layer order."""
         obs = _pass_observer
@@ -174,16 +192,15 @@ class Sequential:
     # ------------------------------------------------------------------
 
     def predict(self, x, dtype: Optional[str] = None) -> Matrix:
-        """Forward pass in eval mode; accepts arrays or a Matrix."""
+        """Inference pass (eval semantics); accepts arrays or a Matrix.
+
+        Runs through :meth:`infer`, which mutates no layer state -- no
+        train/eval mode flipping, no cached activations -- so concurrent
+        ``predict()`` calls from serving threads are safe.
+        """
         dtype = self._infer_dtype(dtype)
-        was_training = any(layer.training for layer in self.layers)
-        self.eval()
-        try:
-            inp = x if isinstance(x, Matrix) else Matrix(np.asarray(x), dtype=dtype)
-            return self.forward(inp)
-        finally:
-            if was_training:
-                self.train()
+        inp = x if isinstance(x, Matrix) else Matrix(np.asarray(x), dtype=dtype)
+        return self.infer(inp)
 
     def predict_classes(self, x, dtype: Optional[str] = None) -> np.ndarray:
         """Argmax class predictions for a batch."""

@@ -45,6 +45,7 @@ from .instrument import (
     instrument_memory,
     instrument_minikv,
     instrument_network,
+    instrument_serve,
     instrument_stack,
     instrument_supervisor,
     instrument_tracepoints,
@@ -75,6 +76,7 @@ __all__ = [
     "instrument_memory",
     "instrument_minikv",
     "instrument_network",
+    "instrument_serve",
     "instrument_stack",
     "instrument_supervisor",
     "instrument_tracepoints",

@@ -1,0 +1,145 @@
+"""Admission control: bounded queue, backpressure, deadline shedding.
+
+A serving plane "serving heavy traffic" needs an explicit overload
+policy, not an unbounded queue.  The controller enforces two:
+
+- **backpressure** at enqueue: a full queue rejects the request with
+  :class:`~.errors.QueueFullError` instead of letting tail latency grow
+  without bound (the client backs off);
+- **load shedding** at dequeue: a request whose deadline passed while
+  it waited is resolved with :class:`~.errors.DeadlineExceededError`
+  without running inference -- a late readahead decision is worthless,
+  so the cheapest correct thing is to not compute it.
+
+The controller also owns the micro-batch assembly
+(:meth:`take_batch`): a worker blocks for the first request, then
+holds the batch open for the configured window (or until it is full),
+the standard latency-for-throughput trade of inference serving.
+
+Counters (``admitted`` / ``rejected`` / ``shed_deadline`` / ``depth``)
+are plain attributes read by callback metrics in ``repro.obs``, so the
+enqueue hot path pays for no metrics machinery.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import List, Optional
+
+from .errors import DeadlineExceededError, QueueFullError
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Bounded FIFO request queue with deadline-based shedding."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._queue = deque()
+        self._cond = threading.Condition()
+        self.admitted = 0
+        self.rejected = 0
+        self.shed_deadline = 0
+
+    @property
+    def depth(self) -> int:
+        return len(self._queue)
+
+    # -- enqueue (client side) -----------------------------------------
+
+    def offer(self, request) -> None:
+        """Admit a request or raise :class:`QueueFullError`."""
+        with self._cond:
+            if len(self._queue) >= self.capacity:
+                self.rejected += 1
+                raise QueueFullError(
+                    f"serve queue full ({self.capacity} requests); back off"
+                )
+            self._queue.append(request)
+            self.admitted += 1
+            self._cond.notify()
+
+    def requeue(self, batch: List[object]) -> None:
+        """Put an already-admitted batch back at the *front* of the queue.
+
+        Used when a worker crashes mid-batch: the requests were admitted
+        once, so capacity is not re-checked -- dropping them because the
+        queue filled up behind them would turn a survivable worker crash
+        into request loss.
+        """
+        with self._cond:
+            self._queue.extendleft(reversed(batch))
+            self._cond.notify_all()
+
+    def wake_all(self) -> None:
+        """Wake every blocked ``take_batch`` (used by engine stop)."""
+        with self._cond:
+            self._cond.notify_all()
+
+    # -- dequeue (worker side) -----------------------------------------
+
+    def take_batch(
+        self,
+        max_size: int,
+        window_s: float,
+        stop_event: threading.Event,
+        poll_s: float = 0.05,
+    ) -> List[object]:
+        """Assemble one micro-batch; sheds expired requests.
+
+        Blocks until at least one request is queued (waking every
+        ``poll_s`` to observe ``stop_event``), then keeps the batch
+        open up to ``window_s`` or ``max_size``.  Returns ``[]`` when
+        stopping with an empty queue -- in-flight requests queued
+        before the stop are still served, so a drain-stop drops
+        nothing.
+        """
+        with self._cond:
+            while not self._queue:
+                if stop_event.is_set():
+                    return []
+                self._cond.wait(poll_s)
+            batch = [self._queue.popleft()]
+            if window_s > 0.0 and max_size > 1:
+                close_at = time.perf_counter() + window_s
+                while len(batch) < max_size:
+                    if self._queue:
+                        batch.append(self._queue.popleft())
+                        continue
+                    remaining = close_at - time.perf_counter()
+                    if remaining <= 0.0 or stop_event.is_set():
+                        break
+                    self._cond.wait(remaining)
+            else:
+                while len(batch) < max_size and self._queue:
+                    batch.append(self._queue.popleft())
+        # Shed outside the lock: resolving futures can run callbacks.
+        # Deadlines are perf_counter timestamps (set by the engine).
+        now = time.perf_counter()
+        live = []
+        for request in batch:
+            if request.deadline is not None and now > request.deadline:
+                self.shed_deadline += 1
+                request.resolve_error(
+                    DeadlineExceededError(
+                        f"deadline passed {now - request.deadline:.4f}s "
+                        "before a worker picked the request up"
+                    )
+                )
+            else:
+                live.append(request)
+        return live
+
+    def drain(self, error: Exception) -> int:
+        """Fail every queued request with ``error``; returns the count."""
+        with self._cond:
+            pending = list(self._queue)
+            self._queue.clear()
+        for request in pending:
+            request.resolve_error(error)
+        return len(pending)

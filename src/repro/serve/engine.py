@@ -1,0 +1,457 @@
+"""Micro-batched inference engine over a supervised worker pool.
+
+The serving core: clients :meth:`~InferenceEngine.submit` single
+feature rows; workers assemble micro-batches (first request opens a
+batch, the batch closes after ``batch_window_s`` or at
+``max_batch_size``) and run **one** forward pass over the coalesced
+``Matrix`` -- the classic latency-for-throughput trade, worthwhile here
+because a batched matmul amortizes Python dispatch and BLAS setup over
+every row in the batch.
+
+Model resolution is per *batch*: a worker reads the registry's active
+snapshot once, so every response in the batch is produced by exactly
+one complete model version (reported in :attr:`ServeResult.version`);
+a concurrent ``activate`` affects only later batches.  Combined with
+immutable snapshots and the stateless ``infer`` path, hot-swap under
+load is atomic by construction.
+
+Fault containment mirrors ``repro.faults``: the ``serve.worker.batch``
+site can fail a batch (requests resolve with the error, the worker
+survives) or crash the worker thread outright -- a crashed worker's
+batch is re-queued at the front and a monitor thread restarts the
+worker, up to ``max_worker_restarts``; past the budget with no worker
+left alive the engine degrades, exactly like the trainer supervisor,
+and :meth:`healthy` gates callers (the readahead agent) back onto
+their heuristic fallback.
+
+With ``num_workers=0`` the engine is a **pass-through**: no queue, no
+threads -- ``predict`` runs inference inline on the caller's thread
+against the active snapshot.  This is the batching-disabled baseline
+(budgeted at <5% overhead over a bare ``model.predict`` by
+``benchmarks/bench_serve.py``) and the mode embedded callers start
+with before turning batching on.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import List, NamedTuple, Optional
+
+import numpy as np
+
+# Catching code imports fault exceptions by name (the documented
+# convention); the hot path below never constructs or fires them.
+from ..faults.errors import SimCrash
+from .admission import AdmissionController
+from .errors import EngineStoppedError, NoActiveModelError, ServeError
+from .registry import ModelRegistry
+
+__all__ = ["ServeConfig", "ServeResult", "InferenceRequest", "InferenceEngine"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Engine knobs (see docs/SERVING.md for the tuning guide).
+
+    ``batch_window_s``
+        How long the first request in a batch waits for company.  0
+        closes every batch immediately (whatever is already queued
+        still coalesces, up to ``max_batch_size``).
+    ``max_batch_size``
+        Rows per coalesced forward pass.
+    ``num_workers``
+        Worker threads; 0 selects the inline pass-through path.
+    ``queue_capacity``
+        Admission bound; beyond it, submits raise ``QueueFullError``.
+    ``default_deadline_s``
+        Deadline applied to requests that do not carry their own
+        (``None`` = no deadline, nothing is shed).
+    ``default_timeout_s``
+        How long the synchronous ``predict`` wrapper waits on a result.
+    ``max_worker_restarts``
+        Crashed-worker restarts before the engine degrades.
+    """
+
+    batch_window_s: float = 0.002
+    max_batch_size: int = 16
+    num_workers: int = 1
+    queue_capacity: int = 256
+    default_deadline_s: Optional[float] = None
+    default_timeout_s: float = 10.0
+    max_worker_restarts: int = 3
+    restart_backoff_s: float = 0.005
+    monitor_poll_s: float = 0.02
+
+    def __post_init__(self):
+        if self.batch_window_s < 0:
+            raise ValueError("batch_window_s must be >= 0")
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.num_workers < 0:
+            raise ValueError("num_workers must be >= 0")
+        if self.max_worker_restarts < 0:
+            raise ValueError("max_worker_restarts must be >= 0")
+
+
+class ServeResult(NamedTuple):
+    """One inference response.
+
+    ``output`` is the model's row for this request (logits for a
+    network, the class index column for a tree); ``version`` is the
+    registry version of the *complete* model snapshot that produced it;
+    ``latency_s`` is submit-to-resolve wall time; ``batch_size`` is how
+    many requests shared the forward pass.
+
+    A ``NamedTuple`` rather than a dataclass: results are built once
+    per request on the serving hot path, and tuple construction is
+    several times cheaper -- the difference is what keeps the inline
+    pass-through mode inside its overhead budget (see
+    benchmarks/bench_serve.py).
+    """
+
+    output: np.ndarray
+    version: int
+    latency_s: float
+    batch_size: int
+
+    def argmax(self) -> int:
+        """Predicted class index (works for networks and trees)."""
+        if self.output.shape[0] == 1:
+            return int(self.output[0])
+        return int(np.argmax(self.output))
+
+
+class InferenceRequest:
+    """A submitted feature row plus its future-style result slot."""
+
+    __slots__ = ("features", "deadline", "submitted_at", "_event",
+                 "_value", "_error")
+
+    def __init__(self, features: np.ndarray, deadline: Optional[float]):
+        self.features = features
+        self.deadline = deadline
+        self.submitted_at = time.perf_counter()
+        self._event = threading.Event()
+        self._value: Optional[ServeResult] = None
+        self._error: Optional[BaseException] = None
+
+    # -- worker side ---------------------------------------------------
+
+    def resolve(self, value: ServeResult) -> None:
+        self._value = value
+        self._event.set()
+
+    def resolve_error(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    # -- client side ---------------------------------------------------
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> ServeResult:
+        """Block for the response; raises the serving error on failure."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("inference result not ready in time")
+        if self._error is not None:
+            raise self._error
+        assert self._value is not None
+        return self._value
+
+
+class InferenceEngine:
+    """The serving loop: admission -> micro-batch -> one forward pass."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        config: Optional[ServeConfig] = None,
+    ):
+        self.registry = registry
+        self.config = config or ServeConfig()
+        self.admission = AdmissionController(self.config.queue_capacity)
+        self._inline = self.config.num_workers == 0
+        self._stop_event = threading.Event()
+        self._started = False
+        self._stopped = False
+        self._degraded = False
+        self._threads: List[threading.Thread] = []
+        self._monitor: Optional[threading.Thread] = None
+        self._lifecycle = threading.Lock()
+        self._fault_site = None
+        self._shadow = None
+        self._obs = None
+        # Lifetime counters (read by callback metrics in repro.obs).
+        self.requests_served = 0
+        self.request_errors = 0
+        self.batches = 0
+        self.worker_crashes = 0
+        self.worker_restarts = 0
+
+    # -- wiring (duck-typed hooks) -------------------------------------
+
+    def attach_faults(self, plane) -> None:
+        """Resolve the ``serve.worker.batch`` site handle."""
+        self._fault_site = plane.site("serve.worker.batch")
+
+    def detach_faults(self) -> None:
+        self._fault_site = None
+
+    def attach_obs(self, hooks) -> None:
+        """Install the obs hook object (``request_latency`` /
+        ``batch_size`` histograms); ``None`` detaches."""
+        self._obs = hooks
+
+    def set_shadow(self, shadow) -> None:
+        """Attach a :class:`~repro.serve.shadow.ShadowDeployer` (or
+        ``None``); samples of served traffic are mirrored to it."""
+        self._shadow = shadow
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._started and not self._stopped
+
+    @property
+    def degraded(self) -> bool:
+        return self._degraded
+
+    def healthy(self) -> bool:
+        """Gate for inference callers, mirroring the trainer supervisor:
+        False once the engine cannot serve (stopped, degraded past the
+        worker-restart budget, or no model activated)."""
+        if not self.running or self._degraded:
+            return False
+        if self.registry.active() is None:
+            return False
+        if self._inline:
+            return True
+        return any(t.is_alive() for t in self._threads)
+
+    def start(self) -> "InferenceEngine":
+        with self._lifecycle:
+            if self.running:
+                raise RuntimeError("engine already running")
+            self._stop_event.clear()
+            self._started, self._stopped, self._degraded = True, False, False
+            if not self._inline:
+                for index in range(self.config.num_workers):
+                    self._threads.append(self._spawn_worker(index))
+                self._monitor = threading.Thread(
+                    target=self._monitor_loop, name="serve-monitor", daemon=True
+                )
+                self._monitor.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Drain-stop: queued requests are served, then workers exit."""
+        with self._lifecycle:
+            if not self._started or self._stopped:
+                return
+            self._stopped = True
+        self._stop_event.set()
+        self.admission.wake_all()
+        for thread in self._threads:
+            thread.join(timeout)
+        if self._monitor is not None:
+            self._monitor.join(timeout)
+            self._monitor = None
+        self._threads = []
+        # Anything still queued (workers dead/degraded) fails loudly.
+        self.request_errors += self.admission.drain(
+            EngineStoppedError("engine stopped")
+        )
+
+    def __enter__(self) -> "InferenceEngine":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- client API -----------------------------------------------------
+
+    def submit(
+        self,
+        features,
+        deadline_s: Optional[float] = None,
+    ) -> InferenceRequest:
+        """Enqueue one feature row; returns a future-style request.
+
+        Raises :class:`QueueFullError` under backpressure and
+        :class:`EngineStoppedError` when the engine cannot accept work.
+        """
+        if not self.running:
+            raise EngineStoppedError("engine is not running")
+        row = np.asarray(features, dtype=np.float64).reshape(-1)
+        if deadline_s is None:
+            deadline_s = self.config.default_deadline_s
+        deadline = (
+            time.perf_counter() + deadline_s if deadline_s is not None else None
+        )
+        request = InferenceRequest(row, deadline)
+        if self._inline:
+            self._serve_inline(request)
+            return request
+        self.admission.offer(request)
+        return request
+
+    def predict(
+        self,
+        features,
+        deadline_s: Optional[float] = None,
+        timeout: Optional[float] = None,
+    ) -> ServeResult:
+        """Synchronous inference: submit + wait.
+
+        On the pass-through configuration this runs the forward pass
+        directly on the calling thread -- no queue, no handoff.
+        """
+        if self._inline:
+            # Hot path: plain attribute reads, no property or request
+            # object -- the pass-through overhead budget lives here.
+            if not self._started or self._stopped:
+                raise EngineStoppedError("engine is not running")
+            snapshot = self.registry.active()
+            if snapshot is None:
+                raise NoActiveModelError("no active model version")
+            x = np.asarray(features, dtype=np.float64).reshape(1, -1)
+            t0 = time.perf_counter()
+            out = snapshot.predict(x)
+            latency = time.perf_counter() - t0
+            result = ServeResult(out[0], snapshot.version, latency, 1)
+            self.requests_served += 1
+            obs = self._obs
+            if obs is not None:
+                obs.request_latency.observe(latency)
+                obs.batch_size.observe(1)
+            shadow = self._shadow
+            if shadow is not None:
+                self._mirror(shadow, x, out, snapshot.version)
+            return result
+        request = self.submit(features, deadline_s=deadline_s)
+        return request.result(
+            timeout if timeout is not None else self.config.default_timeout_s
+        )
+
+    def _serve_inline(self, request: InferenceRequest) -> None:
+        """Pass-through mode: serve one request on the caller's thread."""
+        try:
+            snapshot = self.registry.active()
+            if snapshot is None:
+                raise NoActiveModelError("no active model version")
+            out = snapshot.predict(request.features.reshape(1, -1))
+            done_at = time.perf_counter()
+            request.resolve(
+                ServeResult(out[0], snapshot.version,
+                            done_at - request.submitted_at, 1)
+            )
+            self.requests_served += 1
+            obs = self._obs
+            if obs is not None:
+                obs.request_latency.observe(done_at - request.submitted_at)
+                obs.batch_size.observe(1)
+            shadow = self._shadow
+            if shadow is not None:
+                self._mirror(shadow, request.features.reshape(1, -1), out,
+                             snapshot.version)
+        except BaseException as exc:
+            self.request_errors += 1
+            request.resolve_error(
+                exc if isinstance(exc, ServeError)
+                else ServeError(f"inline inference failed: {exc}")
+            )
+
+    # -- worker internals -----------------------------------------------
+
+    def _spawn_worker(self, index: int) -> threading.Thread:
+        thread = threading.Thread(
+            target=self._worker_loop, name=f"serve-worker-{index}", daemon=True
+        )
+        thread.start()
+        return thread
+
+    def _worker_loop(self) -> None:
+        config = self.config
+        while True:
+            batch = self.admission.take_batch(
+                config.max_batch_size, config.batch_window_s, self._stop_event
+            )
+            if not batch:
+                if self._stop_event.is_set() and self.admission.depth == 0:
+                    return
+                continue
+            try:
+                self._run_batch(batch)
+            except SimCrash:
+                # Supervised crash: the batch survives (re-queued at the
+                # front) and the monitor restarts this worker.
+                self.worker_crashes += 1
+                self.admission.requeue(batch)
+                return
+            except BaseException as exc:
+                self.request_errors += len(batch)
+                for request in batch:
+                    request.resolve_error(
+                        exc if isinstance(exc, ServeError)
+                        else ServeError(f"batch failed: {exc}")
+                    )
+
+    def _run_batch(self, batch: List[InferenceRequest]) -> None:
+        site = self._fault_site
+        if site is not None:
+            site.fire(size=len(batch))
+        snapshot = self.registry.active()
+        if snapshot is None:
+            raise NoActiveModelError("no active model version")
+        x = np.stack([request.features for request in batch])
+        out = snapshot.predict(x)
+        done_at = time.perf_counter()
+        for row, request in zip(out, batch):
+            request.resolve(
+                ServeResult(row, snapshot.version,
+                            done_at - request.submitted_at, len(batch))
+            )
+        self.batches += 1
+        self.requests_served += len(batch)
+        obs = self._obs
+        if obs is not None:
+            obs.batch_size.observe(len(batch))
+            for request in batch:
+                obs.request_latency.observe(done_at - request.submitted_at)
+        shadow = self._shadow
+        if shadow is not None:
+            self._mirror(shadow, x, out, snapshot.version)
+
+    def _mirror(self, shadow, x: np.ndarray, out: np.ndarray,
+                version: int) -> None:
+        """Feed the shadow deployer; its failures must never break
+        primary serving."""
+        try:
+            shadow.sample(x, out, version)
+        except Exception:
+            pass
+
+    def _monitor_loop(self) -> None:
+        """Restart crashed workers; degrade past the restart budget."""
+        while not self._stop_event.wait(self.config.monitor_poll_s):
+            for index, thread in enumerate(self._threads):
+                if thread.is_alive():
+                    continue
+                if self.worker_restarts >= self.config.max_worker_restarts:
+                    if not any(t.is_alive() for t in self._threads):
+                        self._degraded = True
+                        self.request_errors += self.admission.drain(
+                            EngineStoppedError(
+                                "all serve workers crashed past the "
+                                "restart budget"
+                            )
+                        )
+                        return
+                    continue
+                time.sleep(self.config.restart_backoff_s)
+                self._threads[index] = self._spawn_worker(index)
+                self.worker_restarts += 1

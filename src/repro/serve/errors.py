@@ -1,0 +1,56 @@
+"""Exception hierarchy for the model-serving plane.
+
+Every serving failure derives from :class:`ServeError` so callers (the
+readahead agent, the CLI, tests) can gate on one class.  Admission
+failures are split by cause -- backpressure versus deadline -- because
+the two call for different client reactions: back off versus give up.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServeError",
+    "RegistryError",
+    "NoActiveModelError",
+    "AdmissionError",
+    "QueueFullError",
+    "DeadlineExceededError",
+    "EngineStoppedError",
+]
+
+
+class ServeError(Exception):
+    """Base class for every failure raised by the serving plane."""
+
+
+class RegistryError(ServeError):
+    """A registry operation failed: unknown version, corrupt model
+    image, or an I/O error underneath the store.  Activation failures
+    leave the previously active snapshot in place."""
+
+
+class NoActiveModelError(ServeError):
+    """Inference was requested before any model version was activated."""
+
+
+class AdmissionError(ServeError):
+    """Base class for requests the admission controller turned away."""
+
+
+class QueueFullError(AdmissionError):
+    """Backpressure: the bounded request queue is at capacity.
+
+    The client should back off and retry; admitting the request would
+    only grow tail latency past every deadline in the queue.
+    """
+
+
+class DeadlineExceededError(AdmissionError):
+    """Load shedding: the request's deadline passed before a worker
+    could serve it, so the engine dropped it without running inference
+    (a late answer to a readahead decision is worthless)."""
+
+
+class EngineStoppedError(ServeError):
+    """The engine is not running (never started, stopped, or all its
+    workers crashed past the restart budget)."""

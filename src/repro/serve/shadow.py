@@ -1,0 +1,210 @@
+"""Shadow deployment: evaluate a candidate model on live traffic.
+
+Promotion by assertion ("the new model trained fine") is how bad
+models reach production.  The shadow deployer implements promotion by
+*measurement*: while the primary keeps serving, a deterministic sample
+of its traffic is duplicated to a candidate version, and the deployer
+accumulates two deltas --
+
+- **agreement**: do the candidate's decisions match the primary's on
+  the same inputs (argmax for networks, predicted class for trees)?
+- **latency**: how does the candidate's forward-pass time compare,
+  measured back to back on the same rows and the same thread so the
+  comparison cancels out machine noise?
+
+The engine feeds samples via :meth:`ShadowDeployer.sample` (guarded so
+a shadow failure can never break primary serving), and an operator
+reads :meth:`report` / :meth:`ready_to_promote` before calling
+``registry.activate(candidate)`` -- or walks away, with ``rollback``
+as the escape hatch if a promotion regrets itself.
+
+Sampling is counter-based (every ``sample_every``-th batch), not
+random: deterministic sampling keeps tests and benchmark runs
+reproducible, and for agreement measurement there is no adversary to
+hide from.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from .errors import RegistryError
+
+__all__ = ["ShadowReport", "ShadowDeployer"]
+
+
+@dataclass(frozen=True)
+class ShadowReport:
+    """Accumulated candidate-vs-primary comparison."""
+
+    candidate_version: int
+    batches_seen: int
+    batches_sampled: int
+    rows_compared: int
+    rows_agreed: int
+    candidate_latency_s: float  # mean per sampled batch
+    primary_latency_s: float    # mean per sampled batch, same rows
+    #: Median of the recent per-batch candidate/primary ratios (1.0 if
+    #: unmeasured).  The median -- not the ratio of the means -- so one
+    #: scheduler preemption landing inside a timed forward pass cannot
+    #: flip the promotion gate.
+    latency_ratio: float
+
+    @property
+    def agreement(self) -> float:
+        """Fraction of sampled rows where both models decide alike
+        (1.0 when nothing was sampled yet -- no evidence against)."""
+        if self.rows_compared == 0:
+            return 1.0
+        return self.rows_agreed / self.rows_compared
+
+    def describe(self) -> str:
+        lines = [
+            f"shadow candidate v{self.candidate_version:05d}: "
+            f"{self.batches_sampled}/{self.batches_seen} batches sampled, "
+            f"{self.rows_compared} rows compared",
+            f"  agreement     : {self.agreement:.4f} "
+            f"({self.rows_agreed}/{self.rows_compared})",
+            f"  latency ratio : {self.latency_ratio:.3f} median "
+            f"(candidate {self.candidate_latency_s * 1e6:.1f}us vs "
+            f"primary {self.primary_latency_s * 1e6:.1f}us mean per batch)",
+        ]
+        return "\n".join(lines)
+
+
+def _decisions(out: np.ndarray) -> np.ndarray:
+    """Collapse model output rows to one decision per row."""
+    out = np.asarray(out)
+    if out.ndim == 1:
+        out = out.reshape(-1, 1)
+    if out.shape[1] == 1:
+        # Tree class column (or single-output regression head): round so
+        # float noise does not count as disagreement.
+        return np.round(out[:, 0]).astype(np.int64)
+    return np.argmax(out, axis=1).astype(np.int64)
+
+
+class ShadowDeployer:
+    """Duplicates sampled traffic to a candidate model version.
+
+    The candidate is loaded (and integrity-checked) eagerly at
+    construction, so pointing a shadow at a corrupt version fails
+    immediately with :class:`RegistryError` instead of silently
+    sampling nothing.
+    """
+
+    def __init__(self, registry, candidate_version: int, sample_every: int = 4):
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.registry = registry
+        self.sample_every = sample_every
+        self.candidate = registry.load(candidate_version)
+        self._lock = threading.Lock()
+        self._batches_seen = 0
+        self._batches_sampled = 0
+        self._rows_compared = 0
+        self._rows_agreed = 0
+        self._candidate_time = 0.0
+        self._primary_time = 0.0
+        # Recent per-batch latency ratios; the gate reads their median.
+        self._ratios = deque(maxlen=64)
+        self.errors = 0
+
+    @property
+    def candidate_version(self) -> int:
+        return self.candidate.version
+
+    def sample(self, x: np.ndarray, primary_out: np.ndarray,
+               primary_version: int) -> None:
+        """Maybe mirror one served batch to the candidate.
+
+        ``x`` is the coalesced feature batch the primary just served,
+        ``primary_out`` its output.  Every ``sample_every``-th call runs
+        the candidate on the same rows, times a back-to-back primary
+        re-run for a like-for-like latency comparison, and accumulates
+        row-level decision agreement.  The candidate's own failures are
+        counted, never raised -- shadowing must not break serving.
+        """
+        if primary_version == self.candidate.version:
+            return  # candidate already promoted; nothing to compare
+        with self._lock:
+            self._batches_seen += 1
+            if (self._batches_seen - 1) % self.sample_every != 0:
+                return
+            primary = self.registry.active()
+            try:
+                t0 = time.perf_counter()
+                candidate_out = self.candidate.predict(x)
+                t1 = time.perf_counter()
+                if primary is not None:
+                    primary.predict(x)
+                    t2 = time.perf_counter()
+                    self._primary_time += t2 - t1
+                    if t2 - t1 > 0.0:
+                        self._ratios.append((t1 - t0) / (t2 - t1))
+                self._candidate_time += t1 - t0
+            except Exception:
+                self.errors += 1
+                return
+            self._batches_sampled += 1
+            agree = _decisions(candidate_out) == _decisions(primary_out)
+            self._rows_compared += int(agree.size)
+            self._rows_agreed += int(np.count_nonzero(agree))
+
+    def report(self) -> ShadowReport:
+        with self._lock:
+            sampled = self._batches_sampled
+            return ShadowReport(
+                candidate_version=self.candidate.version,
+                batches_seen=self._batches_seen,
+                batches_sampled=sampled,
+                rows_compared=self._rows_compared,
+                rows_agreed=self._rows_agreed,
+                candidate_latency_s=(
+                    self._candidate_time / sampled if sampled else 0.0
+                ),
+                primary_latency_s=(
+                    self._primary_time / sampled if sampled else 0.0
+                ),
+                latency_ratio=(
+                    float(np.median(self._ratios)) if self._ratios else 1.0
+                ),
+            )
+
+    def ready_to_promote(
+        self,
+        min_agreement: float = 0.98,
+        max_latency_ratio: float = 1.5,
+        min_rows: int = 32,
+    ) -> bool:
+        """Conservative promotion gate: enough evidence, high agreement,
+        and no pathological slowdown.  Returns False (never raises) when
+        the sample is still too small."""
+        report = self.report()
+        if report.rows_compared < min_rows:
+            return False
+        return (
+            report.agreement >= min_agreement
+            and report.latency_ratio <= max_latency_ratio
+        )
+
+    def promote(self, **gate):
+        """Activate the candidate (after the gate passes).
+
+        Keyword arguments are forwarded to :meth:`ready_to_promote` to
+        adjust the gate.  Raises :class:`RegistryError` if the gate
+        does not pass -- callers who want to force a promotion can call
+        ``registry.activate`` directly, but the deployer itself only
+        promotes on evidence.
+        """
+        if not self.ready_to_promote(**gate):
+            raise RegistryError(
+                "candidate has not earned promotion yet:\n"
+                + self.report().describe()
+            )
+        return self.registry.activate(self.candidate.version)

@@ -15,7 +15,7 @@ from repro.kml import (
     save_model,
 )
 from repro.kml.layers import Dropout, ReLU, Softmax, Tanh
-from repro.kml.model_io import MAGIC
+from repro.kml.model_io import MAGIC, dump_model, parse_model
 
 
 @pytest.fixture
@@ -135,6 +135,75 @@ class TestCorruption:
     def test_missing_file_raises_oserror(self, tmp_path):
         with pytest.raises(OSError):
             load_model(str(tmp_path / "absent.kml"))
+
+
+class TestBitIdenticalReserialization:
+    """dump -> parse -> dump must reproduce the exact byte image.
+
+    Byte-identity is what the registry's checksums and the dedupe story
+    rest on: if re-serializing a parsed model could shuffle bytes, two
+    loads of the same version would disagree about its identity.
+    """
+
+    @staticmethod
+    def _layer_zoo(dtype):
+        """One model exercising every serializable layer kind."""
+        from repro.kml import BatchNorm1d, LayerNorm
+        from repro.kml.matrix import Matrix
+
+        rng = np.random.default_rng(11)
+        model = Sequential(
+            [
+                Linear(6, 8, dtype=dtype, rng=rng, name="fc1"),
+                BatchNorm1d(8),
+                ReLU(),
+                Sigmoid(),
+                Tanh(),
+                Dropout(0.25),
+                LayerNorm(8),
+                Linear(8, 4, dtype=dtype, rng=rng, name="fc2"),
+                Softmax(),
+            ],
+            name="zoo",
+        )
+        # Accumulate BatchNorm running statistics so the payload holds
+        # non-default state in every stateful layer.
+        model.forward(Matrix(rng.normal(size=(32, 6)), dtype=dtype))
+        return model
+
+    @pytest.mark.parametrize("dtype", ["float32", "float64", "fixed32"])
+    def test_layer_zoo_reserializes_bit_identical(self, dtype):
+        model = self._layer_zoo(dtype)
+        data = dump_model(model)
+        assert dump_model(parse_model(data)) == data
+
+    @pytest.mark.parametrize("dtype", ["float32", "float64", "fixed32"])
+    def test_layer_zoo_double_round_trip_stable(self, dtype):
+        data = dump_model(self._layer_zoo(dtype))
+        once = dump_model(parse_model(data))
+        assert dump_model(parse_model(once)) == once
+
+    @pytest.mark.parametrize("dtype", ["float32", "float64", "fixed32"])
+    def test_layer_zoo_predictions_survive_round_trip(self, dtype):
+        model = self._layer_zoo(dtype)
+        model.eval()
+        loaded = parse_model(dump_model(model))
+        loaded.eval()
+        x = np.random.default_rng(12).normal(size=(8, 6))
+        np.testing.assert_array_equal(
+            loaded.predict(x, dtype=dtype).to_numpy(),
+            model.predict(x, dtype=dtype).to_numpy(),
+        )
+
+    def test_tree_reserializes_bit_identical(self, tree_model):
+        data = dump_model(tree_model)
+        assert dump_model(parse_model(data)) == data
+
+    def test_dump_matches_save_file_bytes(self, nn_model, tmp_path):
+        path = str(tmp_path / "model.kml")
+        save_model(nn_model, path)
+        with open(path, "rb") as f:
+            assert f.read() == dump_model(nn_model)
 
 
 class TestNormalizationLayerRoundTrip:

@@ -132,3 +132,92 @@ class TestInference:
     def test_summary_mentions_layers(self):
         text = two_layer(np.random.default_rng(0)).summary()
         assert "Linear" in text and "parameters" in text
+
+
+class TestConcurrentPredict:
+    """predict/infer must be safe to call from many threads at once.
+
+    The serving plane runs concurrent inference against a shared model
+    instance; the stateless ``infer`` path must not toggle train/eval
+    mode, write activation caches, update running statistics, or apply
+    dropout randomness.
+    """
+
+    @staticmethod
+    def _stateful_model():
+        from repro.kml import BatchNorm1d, LayerNorm
+
+        rng = np.random.default_rng(21)
+        model = Sequential(
+            [
+                Linear(4, 8, dtype="float64", rng=rng),
+                BatchNorm1d(8),
+                ReLU(),
+                Dropout(0.5),
+                LayerNorm(8),
+                Linear(8, 3, dtype="float64", rng=rng),
+            ]
+        )
+        # Warm the BatchNorm running statistics, then leave the model in
+        # *training* mode -- the historical hazard: a predict that
+        # toggled modes or applied dropout would be nondeterministic.
+        for _ in range(10):
+            model.forward(Matrix(rng.normal(size=(16, 4)), dtype="float64"))
+        return model
+
+    def test_predict_deterministic_with_dropout_in_train_mode(self):
+        model = self._stateful_model()
+        x = np.random.default_rng(22).normal(size=(6, 4))
+        reference = model.predict(x).to_numpy()
+        for _ in range(5):
+            np.testing.assert_array_equal(model.predict(x).to_numpy(), reference)
+
+    def test_predict_does_not_touch_training_state(self):
+        model = self._stateful_model()
+        bn = model.layers[1]
+        model.forward(Matrix(np.ones((4, 4)), dtype="float64"))
+        mean_before = bn.running_mean.copy()
+        var_before = bn.running_var.copy()
+        caches = [getattr(layer, "_cache", None) for layer in model.layers]
+        inputs = [getattr(layer, "_input", None) for layer in model.layers]
+        model.predict(np.random.default_rng(23).normal(size=(8, 4)))
+        np.testing.assert_array_equal(bn.running_mean, mean_before)
+        np.testing.assert_array_equal(bn.running_var, var_before)
+        assert all(layer.training for layer in model.layers)
+        # Backward-pass caches from the last forward are untouched.
+        for layer, cache in zip(model.layers, caches):
+            assert getattr(layer, "_cache", None) is cache
+        for layer, cached_input in zip(model.layers, inputs):
+            assert getattr(layer, "_input", None) is cached_input
+
+    def test_concurrent_predict_matches_serial(self):
+        import threading
+
+        model = self._stateful_model()
+        rng = np.random.default_rng(24)
+        inputs = [rng.normal(size=(3, 4)) for _ in range(16)]
+        expected = [model.predict(x).to_numpy() for x in inputs]
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def worker(thread_index):
+            try:
+                barrier.wait(timeout=10)
+                for iteration in range(40):
+                    index = (thread_index + iteration) % len(inputs)
+                    got = model.predict(inputs[index]).to_numpy()
+                    if not np.array_equal(got, expected[index]):
+                        errors.append(
+                            f"thread {thread_index} iter {iteration}: mismatch"
+                        )
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(f"thread {thread_index}: {exc!r}")
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30)
+        assert not errors, errors[:5]

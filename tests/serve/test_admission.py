@@ -1,0 +1,132 @@
+"""Tests for the admission controller: backpressure, shedding, batching."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve import AdmissionController, DeadlineExceededError, QueueFullError
+
+
+class FakeRequest:
+    """Minimal request double: a deadline plus an error slot."""
+
+    def __init__(self, deadline=None):
+        self.deadline = deadline
+        self.error = None
+
+    def resolve_error(self, error):
+        self.error = error
+
+
+def take(controller, max_size=8, window_s=0.0, stop=None):
+    return controller.take_batch(
+        max_size, window_s, stop or threading.Event(), poll_s=0.01
+    )
+
+
+class TestBackpressure:
+    def test_offer_rejects_when_full(self):
+        controller = AdmissionController(capacity=2)
+        controller.offer(FakeRequest())
+        controller.offer(FakeRequest())
+        with pytest.raises(QueueFullError):
+            controller.offer(FakeRequest())
+        assert controller.admitted == 2
+        assert controller.rejected == 1
+        assert controller.depth == 2
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            AdmissionController(capacity=0)
+
+    def test_space_frees_after_take(self):
+        controller = AdmissionController(capacity=1)
+        controller.offer(FakeRequest())
+        take(controller)
+        controller.offer(FakeRequest())  # does not raise
+        assert controller.admitted == 2
+
+
+class TestBatching:
+    def test_coalesces_queued_requests(self):
+        controller = AdmissionController()
+        for _ in range(5):
+            controller.offer(FakeRequest())
+        assert len(take(controller, max_size=8)) == 5
+        assert controller.depth == 0
+
+    def test_max_size_honored(self):
+        controller = AdmissionController()
+        for _ in range(5):
+            controller.offer(FakeRequest())
+        assert len(take(controller, max_size=3)) == 3
+        assert controller.depth == 2
+
+    def test_window_waits_for_stragglers(self):
+        controller = AdmissionController()
+        controller.offer(FakeRequest())
+        late = FakeRequest()
+
+        def straggler():
+            time.sleep(0.01)
+            controller.offer(late)
+
+        thread = threading.Thread(target=straggler)
+        thread.start()
+        batch = take(controller, max_size=4, window_s=0.2)
+        thread.join()
+        assert len(batch) == 2
+
+    def test_returns_empty_only_when_stopping(self):
+        controller = AdmissionController()
+        stop = threading.Event()
+        stop.set()
+        assert take(controller, stop=stop) == []
+
+    def test_drain_stop_serves_queued_requests(self):
+        controller = AdmissionController()
+        controller.offer(FakeRequest())
+        stop = threading.Event()
+        stop.set()
+        # Stopping with work queued still hands the work out.
+        assert len(take(controller, stop=stop)) == 1
+
+    def test_requeue_goes_to_front_in_order(self):
+        controller = AdmissionController()
+        first, second, third = FakeRequest(), FakeRequest(), FakeRequest()
+        controller.offer(third)
+        controller.requeue([first, second])
+        batch = take(controller, max_size=8)
+        assert batch == [first, second, third]
+
+
+class TestShedding:
+    def test_expired_requests_shed_with_deadline_error(self):
+        controller = AdmissionController()
+        expired = FakeRequest(deadline=time.perf_counter() - 1.0)
+        live = FakeRequest(deadline=time.perf_counter() + 60.0)
+        controller.offer(expired)
+        controller.offer(live)
+        batch = take(controller)
+        assert batch == [live]
+        assert isinstance(expired.error, DeadlineExceededError)
+        assert controller.shed_deadline == 1
+
+    def test_no_deadline_never_sheds(self):
+        controller = AdmissionController()
+        controller.offer(FakeRequest(deadline=None))
+        assert len(take(controller)) == 1
+        assert controller.shed_deadline == 0
+
+
+class TestDrain:
+    def test_drain_fails_everything_queued(self):
+        controller = AdmissionController()
+        requests = [FakeRequest() for _ in range(3)]
+        for request in requests:
+            controller.offer(request)
+        error = RuntimeError("shutting down")
+        assert controller.drain(error) == 3
+        assert controller.depth == 0
+        assert all(r.error is error for r in requests)

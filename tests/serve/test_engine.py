@@ -1,0 +1,196 @@
+"""Tests for the micro-batched inference engine."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    EngineStoppedError,
+    InferenceEngine,
+    NoActiveModelError,
+    QueueFullError,
+    ServeConfig,
+)
+
+from .conftest import constant_model
+
+
+def make_engine(registry, **kwargs):
+    return InferenceEngine(registry, ServeConfig(**kwargs))
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"batch_window_s": -0.1},
+            {"max_batch_size": 0},
+            {"num_workers": -1},
+            {"max_worker_restarts": -1},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ServeConfig(**kwargs)
+
+
+class TestInlineMode:
+    def test_pass_through_serves_on_caller_thread(self, registry):
+        registry.publish(constant_model(5.0), activate=True)
+        with make_engine(registry, num_workers=0) as engine:
+            result = engine.predict(np.ones(4))
+            np.testing.assert_array_equal(result.output, np.full(3, 5.0))
+            assert result.version == 1
+            assert result.batch_size == 1
+            assert engine.requests_served == 1
+
+    def test_submit_resolves_synchronously(self, registry):
+        registry.publish(constant_model(5.0), activate=True)
+        with make_engine(registry, num_workers=0) as engine:
+            request = engine.submit(np.ones(4))
+            assert request.done()
+            assert request.result(0).version == 1
+
+    def test_no_active_model(self, registry):
+        with make_engine(registry, num_workers=0) as engine:
+            with pytest.raises(NoActiveModelError):
+                engine.predict(np.ones(4))
+
+    def test_stopped_engine_rejects(self, registry):
+        registry.publish(constant_model(1.0), activate=True)
+        engine = make_engine(registry, num_workers=0)
+        with pytest.raises(EngineStoppedError):
+            engine.predict(np.ones(4))  # never started
+        engine.start()
+        engine.stop()
+        with pytest.raises(EngineStoppedError):
+            engine.predict(np.ones(4))
+
+
+class TestBatchedMode:
+    def test_all_requests_resolve(self, registry):
+        registry.publish(constant_model(2.0), activate=True)
+        with make_engine(registry, num_workers=2, batch_window_s=0.001,
+                         max_batch_size=8) as engine:
+            pending = [engine.submit(np.ones(4)) for _ in range(64)]
+            results = [p.result(5.0) for p in pending]
+        assert len(results) == 64
+        for result in results:
+            np.testing.assert_array_equal(result.output, np.full(3, 2.0))
+            assert result.version == 1
+
+    def test_requests_coalesce_into_batches(self, registry):
+        registry.publish(constant_model(2.0), activate=True)
+        with make_engine(registry, num_workers=1, batch_window_s=0.02,
+                         max_batch_size=16) as engine:
+            pending = [engine.submit(np.ones(4)) for _ in range(32)]
+            results = [p.result(5.0) for p in pending]
+        assert max(r.batch_size for r in results) > 1
+        assert engine.batches < 32  # strictly fewer passes than requests
+
+    def test_max_batch_size_is_a_ceiling(self, registry):
+        registry.publish(constant_model(2.0), activate=True)
+        with make_engine(registry, num_workers=1, batch_window_s=0.05,
+                         max_batch_size=4) as engine:
+            pending = [engine.submit(np.ones(4)) for _ in range(16)]
+            results = [p.result(5.0) for p in pending]
+        assert max(r.batch_size for r in results) <= 4
+
+    def test_predict_wrapper_blocks_for_result(self, registry):
+        registry.publish(constant_model(3.0), activate=True)
+        with make_engine(registry, num_workers=1) as engine:
+            result = engine.predict(np.ones(4), timeout=5.0)
+        np.testing.assert_array_equal(result.output, np.full(3, 3.0))
+
+    def test_drain_stop_loses_nothing(self, registry):
+        registry.publish(constant_model(1.0), activate=True)
+        engine = make_engine(registry, num_workers=1, batch_window_s=0.0,
+                             max_batch_size=4).start()
+        pending = [engine.submit(np.ones(4)) for _ in range(32)]
+        engine.stop()
+        # Every request submitted before stop() resolves successfully.
+        assert all(p.result(1.0).version == 1 for p in pending)
+
+    def test_expired_deadline_is_shed(self, registry):
+        registry.publish(constant_model(1.0), activate=True)
+        with make_engine(registry, num_workers=1) as engine:
+            request = engine.submit(np.ones(4), deadline_s=-1.0)
+            from repro.serve import DeadlineExceededError
+
+            with pytest.raises(DeadlineExceededError):
+                request.result(5.0)
+        assert engine.admission.shed_deadline == 1
+
+    def test_result_timeout(self, registry):
+        registry.publish(constant_model(1.0), activate=True)
+        engine = make_engine(registry, num_workers=1)
+        # Not started: nothing will ever resolve the request...
+        with pytest.raises(EngineStoppedError):
+            engine.submit(np.ones(4))
+
+
+class StallRegistry:
+    """Registry double whose snapshot takes its time, to build backlog."""
+
+    def __init__(self, inner, delay_s):
+        self._inner = inner
+        self._delay = delay_s
+
+    def active(self):
+        inner = self._inner.active()
+        outer = self
+
+        class Slow:
+            version = inner.version
+
+            @staticmethod
+            def predict(x):
+                time.sleep(outer._delay)
+                return inner.predict(x)
+
+        return Slow()
+
+
+class TestBackpressureEndToEnd:
+    def test_queue_full_raises_at_submit(self, registry):
+        registry.publish(constant_model(1.0), activate=True)
+        slow = StallRegistry(registry, delay_s=0.05)
+        engine = InferenceEngine(
+            slow,
+            ServeConfig(num_workers=1, queue_capacity=2, batch_window_s=0.0,
+                        max_batch_size=1),
+        ).start()
+        try:
+            with pytest.raises(QueueFullError):
+                for _ in range(200):
+                    engine.submit(np.ones(4))
+            assert engine.admission.rejected >= 1
+        finally:
+            engine.stop()
+
+
+class TestHealth:
+    def test_healthy_requires_active_model(self, registry):
+        with make_engine(registry, num_workers=1) as engine:
+            assert not engine.healthy()
+            registry.publish(constant_model(1.0), activate=True)
+            assert engine.healthy()
+
+    def test_unhealthy_after_stop(self, registry):
+        registry.publish(constant_model(1.0), activate=True)
+        engine = make_engine(registry, num_workers=1).start()
+        assert engine.healthy()
+        engine.stop()
+        assert not engine.healthy()
+
+    def test_double_start_rejected(self, registry):
+        engine = make_engine(registry, num_workers=0).start()
+        with pytest.raises(RuntimeError):
+            engine.start()
+        engine.stop()
+
+    def test_stop_is_idempotent(self, registry):
+        engine = make_engine(registry, num_workers=0).start()
+        engine.stop()
+        engine.stop()

@@ -1,0 +1,163 @@
+"""Hot-swap atomicity under load: the serving plane's core guarantee.
+
+Every published model is a *constant* network: version ``v`` outputs
+``[v, v, v]`` for any input.  That choice makes the two failure modes
+of a non-atomic swap directly observable:
+
+- a **torn read** (weights from one version, bias from another) breaks
+  the all-equal property of the output row;
+- a **version mix-up** (response attributed to a version that did not
+  produce it) breaks ``output == float(response.version)``.
+
+Version diversity is guaranteed by construction, not by timing: the
+swapper waits for the first response (served by the initially-active
+v1) before its first swap, and each client activates a distinct
+version at its halfway point -- so every run provably serves at least
+two versions mid-traffic, while a free-running swapper thread churns
+activations among the rest.
+
+The quick slice runs on every tier-1 test run; the ``serve_stress``
+variants scale up clients, swaps, and concurrent publishes (enabled by
+``SERVE_STRESS=1`` via ``make serve-check``).
+"""
+
+import itertools
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import InferenceEngine, ServeConfig
+
+from .conftest import constant_model
+
+
+def run_swap_storm(registry, *, versions, clients, requests_per_client,
+                   swaps, workers, publish_concurrently=False):
+    """Drive inference from ``clients`` threads while activations churn.
+
+    Returns (violations, responses, served_versions).
+    """
+    assert versions >= clients + 1
+    for v in range(1, versions + 1):
+        registry.publish(constant_model(float(v)))
+    registry.activate(1)
+
+    engine = InferenceEngine(
+        registry,
+        ServeConfig(num_workers=workers, batch_window_s=0.001,
+                    max_batch_size=8,
+                    queue_capacity=clients * requests_per_client),
+    )
+    violations = []
+    responses = []
+    lock = threading.Lock()
+    start = threading.Barrier(clients + 1)
+    clients_done = threading.Event()
+
+    def record(result):
+        row = np.asarray(result.output)
+        with lock:
+            # Atomicity: the row came from exactly one complete model.
+            if not np.all(row == row[0]):
+                violations.append(f"torn read: {row!r}")
+            elif float(row[0]) != float(result.version):
+                violations.append(
+                    f"version mix-up: output {row[0]!r} attributed to "
+                    f"v{result.version}"
+                )
+            responses.append(result.version)
+
+    def client(index):
+        rng = np.random.default_rng(index)
+        start.wait(timeout=10)
+        for i in range(requests_per_client):
+            if i == requests_per_client // 2:
+                # Mid-stream activation from inside a serving client:
+                # this client's remaining requests were all submitted
+                # after a version >= 2 became active, and no code path
+                # ever re-activates v1, so at least one of them is
+                # served by a later version -- deterministically.
+                registry.activate(2 + index)
+            request = engine.submit(rng.normal(size=4))
+            record(request.result(10.0))
+
+    def swapper():
+        start.wait(timeout=10)
+        # Let v1 serve at least one response before the first swap, so
+        # the initial version provably appears in the served set.
+        while not clients_done.is_set():
+            with lock:
+                if responses:
+                    break
+            time.sleep(0.0005)
+        cycle = itertools.cycle(range(2, versions + 1))
+        for _ in range(swaps):
+            if clients_done.is_set():
+                break
+            registry.activate(next(cycle))
+            # Pace against traffic so the churn interleaves with
+            # serving instead of outrunning it.
+            with lock:
+                target = len(responses) + clients
+            while not clients_done.is_set():
+                with lock:
+                    if len(responses) >= target:
+                        break
+                time.sleep(0.0005)
+
+    def publisher():
+        while not clients_done.is_set():
+            registry.publish(constant_model(float(registry.versions()[-1] + 1)))
+
+    threads = [threading.Thread(target=client, args=(i,))
+               for i in range(clients)]
+    threads.append(threading.Thread(target=swapper))
+    if publish_concurrently:
+        threads.append(threading.Thread(target=publisher))
+    with engine:
+        for thread in threads:
+            thread.start()
+        for thread in threads[:clients]:
+            thread.join(60)
+        clients_done.set()
+        for thread in threads[clients:]:
+            thread.join(60)
+    return violations, responses, set(responses)
+
+
+class TestHotSwapAtomicity:
+    def test_quick_swap_storm(self, registry):
+        """Tier-1 slice: enough churn to catch a torn swap, fast."""
+        violations, responses, served = run_swap_storm(
+            registry, versions=5, clients=3, requests_per_client=60,
+            swaps=30, workers=2,
+        )
+        assert not violations, violations[:5]
+        # No dropped in-flight requests: every submit produced a response.
+        assert len(responses) == 3 * 60
+        # Swaps landed mid-traffic: v1 served first, later versions after.
+        assert 1 in served
+        assert any(v >= 2 for v in served), sorted(served)
+
+    @pytest.mark.serve_stress
+    def test_long_swap_storm_with_concurrent_publishes(self, registry):
+        violations, responses, served = run_swap_storm(
+            registry, versions=8, clients=6, requests_per_client=400,
+            swaps=300, workers=4, publish_concurrently=True,
+        )
+        assert not violations, violations[:5]
+        assert len(responses) == 6 * 400
+        assert 1 in served and any(v >= 2 for v in served)
+
+    @pytest.mark.serve_stress
+    def test_inline_mode_swap_storm(self, registry):
+        """Pass-through mode has the same guarantee (snapshot reads)."""
+        violations, responses, served = run_swap_storm(
+            registry, versions=9, clients=8, requests_per_client=300,
+            swaps=200, workers=0,
+        )
+        assert not violations, violations[:5]
+        assert len(responses) == 8 * 300
+        assert 1 in served and any(v >= 2 for v in served)

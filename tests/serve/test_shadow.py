@@ -1,0 +1,152 @@
+"""Tests for shadow deployment: agreement, latency, promotion gate."""
+
+import numpy as np
+import pytest
+
+from repro.kml.layers import Linear
+from repro.kml.matrix import Matrix
+from repro.kml.network import Sequential
+from repro.serve import RegistryError, ShadowDeployer
+
+from .conftest import constant_model
+
+
+def biased_model(winner: int, out_features: int = 3) -> Sequential:
+    """A network whose argmax is always ``winner``."""
+    model = Sequential([Linear(4, out_features, dtype="float32")])
+    linear = model.layers[0]
+    linear.weight.value = Matrix(np.zeros((4, out_features)), dtype="float32")
+    bias = np.zeros((1, out_features))
+    bias[0, winner] = 9.0
+    linear.bias.value = Matrix(bias, dtype="float32")
+    return model
+
+
+def feed(shadow, snapshot, batches, rows=4):
+    """Push ``batches`` primary batches through the shadow."""
+    x = np.ones((rows, 4))
+    for _ in range(batches):
+        shadow.sample(x, snapshot.predict(x), snapshot.version)
+
+
+class TestSampling:
+    def test_sample_every_controls_duplication(self, registry):
+        registry.publish(biased_model(0), activate=True)
+        candidate = registry.publish(biased_model(0))
+        shadow = ShadowDeployer(registry, candidate, sample_every=4)
+        feed(shadow, registry.active(), batches=8)
+        report = shadow.report()
+        assert report.batches_seen == 8
+        assert report.batches_sampled == 2  # batches 1 and 5
+
+    def test_candidate_loaded_eagerly(self, registry):
+        registry.publish(biased_model(0), activate=True)
+        with pytest.raises(RegistryError):
+            ShadowDeployer(registry, candidate_version=99)
+
+    def test_sample_every_validated(self, registry):
+        candidate = registry.publish(biased_model(0), activate=True)
+        with pytest.raises(ValueError):
+            ShadowDeployer(registry, candidate, sample_every=0)
+
+    def test_promoted_candidate_stops_sampling(self, registry):
+        candidate = registry.publish(biased_model(0), activate=True)
+        shadow = ShadowDeployer(registry, candidate, sample_every=1)
+        feed(shadow, registry.active(), batches=4)
+        assert shadow.report().batches_sampled == 0
+
+    def test_candidate_failure_counted_not_raised(self, registry):
+        registry.publish(biased_model(0), activate=True)
+        candidate = registry.publish(biased_model(0, out_features=3))
+        shadow = ShadowDeployer(registry, candidate, sample_every=1)
+        snapshot = registry.active()
+        # Wrong feature width: the candidate's predict raises inside
+        # sample(), which must absorb it.
+        shadow.sample(np.ones((2, 7)), np.ones((2, 3)), snapshot.version)
+        assert shadow.errors == 1
+        assert shadow.report().batches_sampled == 0
+
+
+class TestAgreement:
+    def test_identical_models_agree_fully(self, registry):
+        registry.publish(biased_model(1), activate=True)
+        candidate = registry.publish(biased_model(1))
+        shadow = ShadowDeployer(registry, candidate, sample_every=1)
+        feed(shadow, registry.active(), batches=6, rows=8)
+        report = shadow.report()
+        assert report.rows_compared == 48
+        assert report.agreement == 1.0
+
+    def test_diverging_models_disagree(self, registry):
+        registry.publish(biased_model(0), activate=True)
+        candidate = registry.publish(biased_model(2))
+        shadow = ShadowDeployer(registry, candidate, sample_every=1)
+        feed(shadow, registry.active(), batches=4)
+        assert shadow.report().agreement == 0.0
+
+    def test_latency_is_measured(self, registry):
+        registry.publish(biased_model(0), activate=True)
+        candidate = registry.publish(biased_model(0))
+        shadow = ShadowDeployer(registry, candidate, sample_every=1)
+        feed(shadow, registry.active(), batches=4)
+        report = shadow.report()
+        assert report.candidate_latency_s > 0.0
+        assert report.primary_latency_s > 0.0
+        assert report.latency_ratio > 0.0
+
+
+class TestPromotion:
+    def test_gate_needs_enough_rows(self, registry):
+        registry.publish(biased_model(0), activate=True)
+        candidate = registry.publish(biased_model(0))
+        shadow = ShadowDeployer(registry, candidate, sample_every=1)
+        feed(shadow, registry.active(), batches=2, rows=4)  # 8 rows < 32
+        assert not shadow.ready_to_promote()
+
+    def test_gate_blocks_disagreement(self, registry):
+        registry.publish(biased_model(0), activate=True)
+        candidate = registry.publish(biased_model(2))
+        shadow = ShadowDeployer(registry, candidate, sample_every=1)
+        feed(shadow, registry.active(), batches=10, rows=8)
+        assert not shadow.ready_to_promote()
+        with pytest.raises(RegistryError, match="has not earned promotion"):
+            shadow.promote()
+
+    def test_promote_after_evidence(self, registry):
+        registry.publish(biased_model(1), activate=True)
+        candidate = registry.publish(biased_model(1))
+        shadow = ShadowDeployer(registry, candidate, sample_every=1)
+        feed(shadow, registry.active(), batches=10, rows=8)
+        assert shadow.ready_to_promote()
+        snapshot = shadow.promote()
+        assert snapshot.version == candidate
+        assert registry.active_version == candidate
+
+    def test_report_describe_is_readable(self, registry):
+        registry.publish(biased_model(0), activate=True)
+        candidate = registry.publish(biased_model(0))
+        shadow = ShadowDeployer(registry, candidate, sample_every=1)
+        feed(shadow, registry.active(), batches=3)
+        text = shadow.report().describe()
+        assert "agreement" in text and "latency ratio" in text
+        assert f"v{candidate:05d}" in text
+
+
+class TestEngineIntegration:
+    def test_engine_mirrors_traffic_to_shadow(self, registry):
+        from repro.serve import InferenceEngine, ServeConfig
+
+        registry.publish(constant_model(1.0), activate=True)
+        candidate = registry.publish(constant_model(1.0))
+        shadow = ShadowDeployer(registry, candidate, sample_every=1)
+        engine = InferenceEngine(
+            registry, ServeConfig(num_workers=1, batch_window_s=0.001)
+        )
+        engine.set_shadow(shadow)
+        with engine:
+            pending = [engine.submit(np.ones(4)) for _ in range(16)]
+            for p in pending:
+                p.result(5.0)
+        report = shadow.report()
+        assert report.batches_sampled >= 1
+        assert report.agreement == 1.0

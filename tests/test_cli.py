@@ -13,7 +13,7 @@ class TestParser:
     def test_all_subcommands_registered(self):
         parser = build_parser()
         for command in ("collect", "train", "sweep", "run", "inspect", "obs",
-                        "faults"):
+                        "faults", "serve"):
             args = {
                 "collect": ["collect", "--output", "x.npz"],
                 "train": ["train", "--data", "d.npz", "--output", "m.kml"],
@@ -22,12 +22,21 @@ class TestParser:
                 "inspect": ["inspect", "m.kml"],
                 "obs": ["obs", "--workload", "readrandom"],
                 "faults": ["faults", "--list"],
+                "serve": ["serve", "--registry", "r", "--list"],
             }[command]
             assert parser.parse_args(args).command == command
 
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
 
 
 @pytest.fixture(scope="module")
@@ -172,6 +181,87 @@ class TestFaults:
         assert code == 0
         out = capsys.readouterr().out
         assert "simulated crashes (+ recoveries): 1" in out
+
+
+class TestServe:
+    @pytest.fixture
+    def model_file(self, tmp_path):
+        from repro.kml import Sequential, save_model
+        from repro.kml.layers import Linear
+
+        path = str(tmp_path / "model.kml")
+        save_model(Sequential([Linear(4, 3, dtype="float32")]), path)
+        return path
+
+    def test_no_action_is_usage_error(self, tmp_path, capsys):
+        assert main(["serve", "--registry", str(tmp_path / "r")]) == 2
+        assert "nothing to do" in capsys.readouterr().err
+
+    def test_shadow_requires_bench(self, tmp_path, capsys):
+        code = main(["serve", "--registry", str(tmp_path / "r"),
+                     "--list", "--shadow", "1"])
+        assert code == 2
+        assert "--shadow" in capsys.readouterr().err
+
+    def test_publish_activate_list(self, tmp_path, model_file, capsys):
+        reg = str(tmp_path / "r")
+        assert main(["serve", "--registry", reg, "--model", model_file]) == 0
+        assert "published" in capsys.readouterr().out
+        assert main(["serve", "--registry", reg, "--activate", "1"]) == 0
+        assert "activated v00001" in capsys.readouterr().out
+        assert main(["serve", "--registry", reg, "--list"]) == 0
+        assert "v00001" in capsys.readouterr().out
+
+    def test_missing_model_file_is_io_error(self, tmp_path, capsys):
+        code = main(["serve", "--registry", str(tmp_path / "r"),
+                     "--model", str(tmp_path / "nope.kml")])
+        assert code == 3
+        assert "i/o error" in capsys.readouterr().err
+
+    def test_damaged_model_file_is_format_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.kml"
+        bad.write_bytes(b"this is not a model image")
+        code = main(["serve", "--registry", str(tmp_path / "r"),
+                     "--model", str(bad)])
+        assert code == 4
+        assert "damaged model file" in capsys.readouterr().err
+
+    def test_unknown_version_is_error(self, tmp_path, model_file, capsys):
+        reg = str(tmp_path / "r")
+        assert main(["serve", "--registry", reg, "--model", model_file]) == 0
+        capsys.readouterr()
+        assert main(["serve", "--registry", reg, "--activate", "99"]) == 1
+        assert "repro:" in capsys.readouterr().err
+
+    def test_bench_empty_registry_is_config_error(self, tmp_path, capsys):
+        code = main(["serve", "--registry", str(tmp_path / "r"), "--bench"])
+        assert code == 5
+        assert "registry is empty" in capsys.readouterr().err
+
+    def test_bench_inline_reports_latency(self, tmp_path, model_file, capsys):
+        reg = str(tmp_path / "r")
+        assert main(["serve", "--registry", reg, "--model", model_file]) == 0
+        capsys.readouterr()
+        code = main(["serve", "--registry", reg, "--bench",
+                     "--workers", "0", "--requests", "64"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "auto-activated latest version v00001" in out
+        assert "throughput" in out and "p99" in out
+        assert "inline pass-through" in out
+
+    def test_bench_batched_with_shadow(self, tmp_path, model_file, capsys):
+        reg = str(tmp_path / "r")
+        assert main(["serve", "--registry", reg, "--model", model_file]) == 0
+        assert main(["serve", "--registry", reg, "--model", model_file]) == 0
+        capsys.readouterr()
+        code = main(["serve", "--registry", reg, "--activate", "1", "--bench",
+                     "--shadow", "2", "--workers", "1", "--requests", "64",
+                     "--batch-window", "0.001"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "batch size" in out
+        assert "agreement" in out  # the shadow report made it to stdout
 
 
 class TestReport:
